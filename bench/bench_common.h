@@ -1,0 +1,63 @@
+// Shared plumbing for the benchmark harnesses: cluster sizing, system
+// construction, standard flag handling and row formatting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "memnode/cluster.h"
+#include "rdma/network_config.h"
+#include "ycsb/dataset.h"
+#include "ycsb/runner.h"
+#include "ycsb/systems.h"
+#include "ycsb/workload.h"
+
+namespace sphinx::bench {
+
+// Sizes each MN region so `keys` fit with headroom for the most
+// memory-hungry system (SMART's homogeneous nodes) plus fragmentation.
+inline uint64_t mn_bytes_for_keys(uint64_t keys, uint32_t num_mns) {
+  // Leaf (128 B) + inner-node share with SMART's homogeneous Node-256
+  // blowup (email trees run ~0.4 inner nodes per key x 2112 B) + allocator
+  // chunk leases for hundreds of workers.
+  const uint64_t per_key = 1600;
+  const uint64_t per_mn = keys * per_key / num_mns + (128ull << 20);
+  return per_mn;
+}
+
+inline std::unique_ptr<mem::Cluster> make_cluster(uint64_t keys,
+                                                  bool batching = true) {
+  rdma::NetworkConfig config;  // paper testbed: 3 CNs, 3 MNs
+  config.doorbell_batching = batching;
+  return std::make_unique<mem::Cluster>(config,
+                                        mn_bytes_for_keys(keys, config.num_mns));
+}
+
+inline ycsb::SystemKind parse_system(const std::string& name) {
+  if (name == "sphinx" || name == "Sphinx") return ycsb::SystemKind::kSphinx;
+  if (name == "sphinx-nosfc") return ycsb::SystemKind::kSphinxNoFilter;
+  if (name == "smart" || name == "SMART") return ycsb::SystemKind::kSmart;
+  if (name == "smart+c" || name == "smartc") return ycsb::SystemKind::kSmartC;
+  return ycsb::SystemKind::kArt;
+}
+
+// The four systems of the paper's evaluation, in figure order.
+inline std::vector<ycsb::SystemKind> paper_systems() {
+  return {ycsb::SystemKind::kSphinx, ycsb::SystemKind::kSmart,
+          ycsb::SystemKind::kSmartC, ycsb::SystemKind::kArt};
+}
+
+// CN cache budget for `kind`, scaled from the paper's 20 MB / 200 MB @60M
+// keys down to the bench's key count (see ycsb::scaled_cache_budget).
+inline uint64_t cache_budget_for(ycsb::SystemKind kind, uint64_t keys) {
+  const uint64_t paper_budget = kind == ycsb::SystemKind::kSmartC
+                                    ? ycsb::kLargeCacheBudget
+                                    : ycsb::kDefaultCacheBudget;
+  return ycsb::scaled_cache_budget(paper_budget, keys);
+}
+
+}  // namespace sphinx::bench

@@ -1,0 +1,96 @@
+// Reproduces Fig. 5 of the paper: throughput-latency curves under the
+// write-intensive YCSB-A workload (50% read / 50% update, zipfian 0.99) as
+// the number of workers grows from 6 to 192, evenly spread across 3 CNs,
+// on both the u64 and email datasets.
+//
+// Each printed series is one system; each row is one worker count with the
+// resulting throughput and mean latency. The paper's claim: Sphinx scales
+// to higher throughput at lower latency because its operations put fewer
+// messages and bytes on the fabric, delaying NIC saturation.
+//
+// Usage:
+//   bench_scalability [--keys=1000000] [--ops=600]
+//                     [--workers=6,12,24,48,96,192] [--datasets=u64,email]
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace sphinx::bench {
+namespace {
+
+std::vector<uint32_t> parse_worker_list(const std::string& spec) {
+  std::vector<uint32_t> workers;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    workers.push_back(static_cast<uint32_t>(std::stoul(token)));
+  }
+  return workers;
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t num_keys = flags.get_u64("keys", 1000000);
+  const uint64_t ops_per_worker = flags.get_u64("ops", 600);
+  const std::vector<uint32_t> worker_counts =
+      parse_worker_list(flags.get_string("workers", "6,12,24,48,96,192"));
+  const std::string datasets = flags.get_string("datasets", "u64,email");
+
+  std::cout << "# Fig. 5 -- YCSB-A throughput-latency scalability, "
+            << num_keys << " keys, workers swept over 3 CNs\n\n";
+
+  for (const ycsb::DatasetKind dataset :
+       {ycsb::DatasetKind::kU64, ycsb::DatasetKind::kEmail}) {
+    if (datasets.find(ycsb::dataset_name(dataset)) == std::string::npos) {
+      continue;
+    }
+    const uint64_t pool = num_keys + 1024;
+    const auto keys = ycsb::generate_keys(dataset, pool, 1);
+    std::cout << "## dataset: " << ycsb::dataset_name(dataset) << "\n";
+
+    for (const ycsb::SystemKind kind : paper_systems()) {
+      auto cluster = make_cluster(pool);
+      ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind,
+                                                               num_keys));
+      ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
+      runner.load(num_keys, 64);
+
+      // Warm CN-side caches once at full concurrency.
+      {
+        ycsb::RunOptions warm;
+        warm.workers = worker_counts.back();
+        warm.ops_per_worker = 200;
+        runner.run(ycsb::standard_workload('C'), warm);
+      }
+
+      TablePrinter table(
+          {"workers", "throughput", "mean-latency", "p50", "p99(unloaded)",
+           "nic-util"});
+      for (uint32_t workers : worker_counts) {
+        ycsb::RunOptions options;
+        options.workers = workers;
+        options.ops_per_worker = ops_per_worker;
+        const ycsb::RunResult r =
+            runner.run(ycsb::standard_workload('A'), options);
+        table.add_row({std::to_string(workers),
+                       TablePrinter::fmt_mops(r.ops_per_sec),
+                       TablePrinter::fmt_us(r.mean_latency_ns),
+                       TablePrinter::fmt_us(
+                           static_cast<double>(r.latency.percentile_ns(50))),
+                       TablePrinter::fmt_us(
+                           static_cast<double>(r.latency.percentile_ns(99))),
+                       TablePrinter::fmt_double(r.nic_utilization)});
+      }
+      std::cout << "### " << setup.name() << "\n";
+      table.print();
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sphinx::bench
+
+int main(int argc, char** argv) { return sphinx::bench::run(argc, argv); }

@@ -1,0 +1,104 @@
+// Reproduces Fig. 4 of the paper: YCSB throughput (workloads A, B, C, D, E
+// and LOAD) on the u64 and email datasets for Sphinx, SMART (20 MB cache),
+// SMART+C (200 MB cache) and the ART baseline.
+//
+// The paper loads 60 M keys on a 3x128 GB testbed; the default here is a
+// proportional scale-down that regenerates the figure's *shape* (who wins,
+// by what factor) in minutes. Scale with --keys / --ops.
+//
+// Usage:
+//   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
+//              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace sphinx::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t num_keys = flags.get_u64("keys", 1000000);
+  const uint64_t ops_per_worker = flags.get_u64("ops", 600);
+  const uint32_t workers = static_cast<uint32_t>(flags.get_u64("workers", 192));
+  const std::string datasets = flags.get_string("datasets", "u64,email");
+  const std::string workloads = flags.get_string("workloads", "ABCDEL");
+  const bool warmup = flags.get_bool("warmup", true);
+
+  std::cout << "# Fig. 4 -- YCSB throughput, " << num_keys
+            << " loaded keys, " << workers << " workers x " << ops_per_worker
+            << " ops, zipfian 0.99, 64 B values\n\n";
+
+  for (const ycsb::DatasetKind dataset :
+       {ycsb::DatasetKind::kU64, ycsb::DatasetKind::kEmail}) {
+    if (datasets.find(ycsb::dataset_name(dataset)) == std::string::npos) {
+      continue;
+    }
+    // Key pool: loaded keys + headroom for insert-heavy workloads.
+    const uint64_t pool = num_keys + workers * ops_per_worker + 1024;
+    const auto keys = ycsb::generate_keys(dataset, pool, 1);
+
+    TablePrinter table({"workload", "Sphinx", "SMART", "SMART+C", "ART",
+                        "best-vs-ART"});
+    std::vector<std::vector<double>> tput(workloads.size(),
+                                          std::vector<double>(4, 0.0));
+
+    int sys_col = 0;
+    for (const ycsb::SystemKind kind : paper_systems()) {
+      auto cluster = make_cluster(pool);
+      ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys));
+      ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
+      runner.load(num_keys, 64);
+      std::cerr << "[" << ycsb::dataset_name(dataset) << "] loaded "
+                << setup.name() << "\n";
+
+      if (warmup) {
+        // One short pass so CN-side caches (filter / node cache) reach
+        // steady state before measurement, as in the paper's methodology.
+        ycsb::RunOptions warm;
+        warm.workers = workers;
+        warm.ops_per_worker = std::max<uint64_t>(ops_per_worker / 4, 200);
+        runner.run(ycsb::standard_workload('C'), warm);
+      }
+
+      int row = 0;
+      for (char w : workloads) {
+        ycsb::RunOptions options;
+        options.workers = workers;
+        options.ops_per_worker =
+            w == 'E' ? std::max<uint64_t>(ops_per_worker / 10, 50)
+                     : ops_per_worker;
+        const ycsb::RunResult result =
+            runner.run(ycsb::standard_workload(w), options);
+        tput[static_cast<size_t>(row)][static_cast<size_t>(sys_col)] =
+            result.ops_per_sec;
+        std::cerr << "  " << result.workload << ": "
+                  << TablePrinter::fmt_mops(result.ops_per_sec) << " ("
+                  << TablePrinter::fmt_double(result.rtts_per_op) << " rtt/op, "
+                  << result.latency.summary() << ")\n";
+        row++;
+      }
+      sys_col++;
+    }
+
+    int row = 0;
+    for (char w : workloads) {
+      const auto& r = tput[static_cast<size_t>(row)];
+      const double best = std::max({r[0], r[1], r[2]});
+      table.add_row({ycsb::standard_workload(w).name,
+                     TablePrinter::fmt_mops(r[0]), TablePrinter::fmt_mops(r[1]),
+                     TablePrinter::fmt_mops(r[2]), TablePrinter::fmt_mops(r[3]),
+                     r[3] > 0 ? TablePrinter::fmt_ratio(best / r[3]) : "-"});
+      row++;
+    }
+    std::cout << "## dataset: " << ycsb::dataset_name(dataset) << "\n";
+    table.print();
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sphinx::bench
+
+int main(int argc, char** argv) { return sphinx::bench::run(argc, argv); }

@@ -1,0 +1,134 @@
+// Interactive shell over a Sphinx index -- a minimal redis-cli-style REPL
+// for poking at the index and watching per-command wire costs.
+//
+//   $ ./sphinx_shell
+//   sphinx> put apple fruit
+//   OK            (5 rtts, 13 us)
+//   sphinx> get apple
+//   "fruit"       (3 rtts, 7 us)
+//   sphinx> scan a 10
+//   ...
+//
+// Commands: put <k> <v> | get <k> | del <k> | update <k> <v>
+//           scan <start> <n> | range <lo> <hi> | stats | help | quit
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/sphinx_index.h"
+#include "memnode/remote_allocator.h"
+
+using namespace sphinx;
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      "commands:\n"
+      "  put <key> <value>     insert a new key\n"
+      "  update <key> <value>  change an existing key's value\n"
+      "  get <key>             point lookup\n"
+      "  del <key>             delete\n"
+      "  scan <start> <n>      n entries from start, in order\n"
+      "  range <lo> <hi>       all entries in [lo, hi]\n"
+      "  stats                 wire-traffic and index statistics\n"
+      "  help | quit\n";
+}
+
+}  // namespace
+
+int main() {
+  rdma::NetworkConfig net;
+  mem::Cluster cluster(net, 256ull << 20);
+  core::SphinxRefs refs = core::create_sphinx(cluster);
+  auto filter = filter::CuckooFilter::with_budget(1ull << 20);
+  rdma::Endpoint endpoint = cluster.make_endpoint(0);
+  mem::RemoteAllocator allocator(cluster, endpoint);
+  core::SphinxIndex index(cluster, endpoint, allocator, refs, filter.get());
+
+  std::cout << "Sphinx on a simulated 3-CN/3-MN disaggregated-memory "
+               "cluster. 'help' for commands.\n";
+
+  std::string line;
+  while (std::cout << "sphinx> " << std::flush &&
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    const rdma::EndpointStats before = endpoint.stats();
+    const uint64_t t0 = endpoint.clock_ns();
+    std::ostringstream reply;
+
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      print_help();
+      continue;
+    } else if (cmd == "put" || cmd == "update") {
+      std::string k, v;
+      in >> k >> v;
+      if (k.empty() || v.empty()) {
+        std::cout << "usage: " << cmd << " <key> <value>\n";
+        continue;
+      }
+      const bool ok =
+          cmd == "put" ? index.insert(k, v) : index.update(k, v);
+      reply << (ok ? "OK"
+                   : (cmd == "put" ? "(exists -- use update)"
+                                   : "(not found -- use put)"));
+    } else if (cmd == "get") {
+      std::string k, v;
+      in >> k;
+      reply << (index.search(k, &v) ? "\"" + v + "\"" : "(nil)");
+    } else if (cmd == "del") {
+      std::string k;
+      in >> k;
+      reply << (index.remove(k) ? "OK" : "(nil)");
+    } else if (cmd == "scan") {
+      std::string start;
+      size_t n = 10;
+      in >> start >> n;
+      std::vector<std::pair<std::string, std::string>> out;
+      index.scan(start, n, &out);
+      for (const auto& [k, v] : out) {
+        std::cout << "  " << k << " = " << v << "\n";
+      }
+      reply << out.size() << " entries";
+    } else if (cmd == "range") {
+      std::string lo, hi;
+      in >> lo >> hi;
+      std::vector<std::pair<std::string, std::string>> out;
+      index.scan_range(lo, hi, 1000, &out);
+      for (const auto& [k, v] : out) {
+        std::cout << "  " << k << " = " << v << "\n";
+      }
+      reply << out.size() << " entries";
+    } else if (cmd == "stats") {
+      const rdma::EndpointStats& s = endpoint.stats();
+      const core::SphinxStats& ss = index.sphinx_stats();
+      std::cout << "  round trips: " << s.round_trips
+                << "  verbs: " << s.verbs() << " (r " << s.reads << " / w "
+                << s.writes << " / cas " << s.cas << ")\n"
+                << "  bytes: " << s.bytes_read << " read / "
+                << s.bytes_written << " written\n"
+                << "  filter: " << filter->size() << " prefixes, "
+                << ss.filter_hits << " hits, " << ss.fp_rejects
+                << " fp-rejects, " << ss.parallel_fallbacks
+                << " parallel fallbacks\n"
+                << "  virtual time: "
+                << static_cast<double>(endpoint.clock_ns()) / 1e3 << " us\n";
+      continue;
+    } else {
+      std::cout << "unknown command '" << cmd << "' -- try 'help'\n";
+      continue;
+    }
+
+    const rdma::EndpointStats delta = endpoint.stats() - before;
+    std::printf("%-24s (%llu rtts, %.1f us)\n", reply.str().c_str(),
+                static_cast<unsigned long long>(delta.round_trips),
+                static_cast<double>(endpoint.clock_ns() - t0) / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// The "ART" baseline of the paper: the original adaptive radix tree ported
+// to disaggregated memory. Pure sequential tree traversal over one-sided
+// READs (one round trip per level), adaptive node types, no CN-side cache,
+// no doorbell-batched scans.
+#pragma once
+
+#include "art/remote_tree.h"
+
+namespace sphinx::art {
+
+class ArtIndex final : public RemoteTree {
+ public:
+  ArtIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+           mem::RemoteAllocator& allocator, const TreeRef& ref)
+      : RemoteTree(cluster, endpoint, allocator, ref, baseline_config()) {}
+
+  const char* name() const override { return "ART"; }
+
+  static TreeConfig baseline_config() {
+    TreeConfig config;
+    config.batched_scan = false;      // Fig. 4E: ART lacks doorbell batching
+    config.homogeneous_nodes = false;
+    return config;
+  }
+};
+
+}  // namespace sphinx::art

@@ -1,0 +1,52 @@
+// Terminated keys. The index stores variable-length byte-string keys; to
+// guarantee the prefix-free property ART's leaf placement needs, every user
+// key is stored with a trailing 0x00 terminator. Callers must supply keys
+// that are either NUL-free (e.g. email addresses) or all of equal length
+// (e.g. 8-byte big-endian integers) -- both of the paper's datasets qualify.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "common/hash.h"
+#include "common/slice.h"
+#include "art/node_layout.h"
+
+namespace sphinx::art {
+
+// Seed for all prefix-placement hashing; shared by the tree, the INHT and
+// the succinct filter cache so they agree on every prefix's identity.
+constexpr uint64_t kPrefixHashSeed = 0x53504858ULL;  // "SPHX"
+
+inline uint64_t prefix_hash(Slice prefix) {
+  return xxhash64(prefix.data(), prefix.size(), kPrefixHashSeed);
+}
+
+class TerminatedKey {
+ public:
+  explicit TerminatedKey(Slice user_key) {
+    assert(user_key.size() + 1 <= kMaxKeyLen);
+    bytes_.reserve(user_key.size() + 1);
+    bytes_.assign(user_key.data(), user_key.size());
+    bytes_.push_back('\0');
+  }
+
+  // Full terminated length (user key + 1).
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  uint8_t byte(uint32_t i) const {
+    assert(i < bytes_.size());
+    return static_cast<uint8_t>(bytes_[i]);
+  }
+  Slice full() const { return Slice(bytes_); }
+  Slice prefix(uint32_t len) const { return Slice(bytes_.data(), len); }
+  Slice user_key() const { return Slice(bytes_.data(), bytes_.size() - 1); }
+
+  uint64_t hash_of_prefix(uint32_t len) const {
+    return prefix_hash(prefix(len));
+  }
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace sphinx::art

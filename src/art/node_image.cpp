@@ -1,0 +1,111 @@
+#include "art/node_image.h"
+
+#include <algorithm>
+
+namespace sphinx::art {
+
+void InnerImage::sorted_slots(std::vector<uint64_t>& out) const {
+  out.clear();
+  const uint32_t cap = capacity();
+  for (uint32_t i = 0; i < cap; ++i) {
+    if (slot_valid(slot(i))) out.push_back(slot(i));
+  }
+  if (type() != NodeType::kN256) {
+    std::sort(out.begin(), out.end(), [](uint64_t a, uint64_t b) {
+      return slot_pkey(a) < slot_pkey(b);
+    });
+  }
+}
+
+bool InnerImage::frag_consistent(const TerminatedKey& key,
+                                 uint32_t parent_depth) const {
+  const uint32_t d = depth();
+  if (d > key.size()) return false;  // node deeper than the key itself
+  const uint32_t flen = frag_len(frag_word());
+  const uint32_t frag_start = d - flen;
+  // Verified window: bytes the fragment covers that lie past the branch
+  // byte consumed at the parent.
+  const uint32_t from = std::max(parent_depth + 1, frag_start);
+  for (uint32_t i = from; i < d; ++i) {
+    if (frag_byte(frag_word(), i - frag_start) != key.byte(i)) return false;
+  }
+  return true;
+}
+
+InnerImage InnerImage::grown_copy(NodeType new_type) const {
+  InnerImage out;
+  out.words_[0] = pack_inner_header(NodeStatus::kIdle, new_type, depth(),
+                                    header_prefix_hash42(header()));
+  out.words_[1] = words_[1];
+  out.words_[2] = words_[2];
+  for (uint32_t i = 0; i < node_capacity(new_type); ++i) out.words_[3 + i] = 0;
+
+  const uint32_t cap = capacity();
+  uint32_t next = 0;
+  for (uint32_t i = 0; i < cap; ++i) {
+    const uint64_t s = slot(i);
+    if (!slot_valid(s)) continue;
+    if (new_type == NodeType::kN256) {
+      out.words_[3 + slot_pkey(s)] = s;
+    } else {
+      out.words_[3 + next++] = s;
+    }
+  }
+  return out;
+}
+
+LeafImage LeafImage::build(Slice terminated_key, Slice value, uint32_t units) {
+  LeafImage img;
+  const uint32_t klen = static_cast<uint32_t>(terminated_key.size());
+  const uint32_t vlen = static_cast<uint32_t>(value.size());
+  assert(units >= leaf_units_for(klen, vlen) && units < 64);
+  img.buf_.assign(units * kLeafUnitBytes, 0);
+  const uint64_t header = pack_leaf_header(NodeStatus::kIdle, units, klen,
+                                           vlen);
+  std::memcpy(img.buf_.data(), &header, 8);
+  std::memcpy(img.buf_.data() + 8, terminated_key.data(), klen);
+  std::memcpy(img.buf_.data() + 8 + pad8(klen), value.data(), vlen);
+  const uint32_t crc_off = crc_offset(klen, vlen);
+  // Checksum over the image with status zeroed, so lock transitions on the
+  // header word never invalidate it.
+  const uint64_t neutral = header & ~0x3ULL;
+  uint32_t crc = crc32c(&neutral, 8);
+  crc = crc32c(img.buf_.data() + 8, crc_off - 8, crc);
+  std::memcpy(img.buf_.data() + crc_off, &crc, 4);
+  return img;
+}
+
+bool LeafImage::checksum_ok() const {
+  if (buf_.size() < kLeafUnitBytes) return false;
+  const uint64_t h = header();
+  const uint32_t klen = leaf_key_len(h);
+  const uint32_t vlen = leaf_val_len(h);
+  const uint32_t crc_off = crc_offset(klen, vlen);
+  if (crc_off + 4 > buf_.size()) return false;
+  const uint64_t neutral = h & ~0x3ULL;
+  uint32_t crc = crc32c(&neutral, 8);
+  crc = crc32c(buf_.data() + 8, crc_off - 8, crc);
+  uint32_t stored;
+  std::memcpy(&stored, buf_.data() + crc_off, 4);
+  return stored == crc;
+}
+
+void LeafImage::replace_value(Slice new_value) {
+  const uint64_t h = header();
+  const uint32_t klen = leaf_key_len(h);
+  const uint32_t u = leaf_units(h);
+  assert(leaf_units_for(klen, static_cast<uint32_t>(new_value.size())) <= u);
+  const uint32_t vlen = static_cast<uint32_t>(new_value.size());
+  const uint64_t new_header =
+      pack_leaf_header(NodeStatus::kIdle, u, klen, vlen);
+  std::memcpy(buf_.data(), &new_header, 8);
+  std::memset(buf_.data() + 8 + pad8(klen), 0, buf_.size() - 8 - pad8(klen));
+  std::memcpy(buf_.data() + 8 + pad8(klen), new_value.data(), vlen);
+  const uint32_t crc_off = crc_offset(klen, vlen);
+  const uint64_t neutral = new_header & ~0x3ULL;
+  uint32_t crc = crc32c(&neutral, 8);
+  crc = crc32c(buf_.data() + 8, crc_off - 8, crc);
+  std::memcpy(buf_.data() + crc_off, &crc, 4);
+}
+
+}  // namespace sphinx::art

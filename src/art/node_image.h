@@ -1,0 +1,159 @@
+// Local (CN-side) working images of remote nodes: parsing, validation and
+// construction helpers over the raw word layout in node_layout.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "art/key.h"
+#include "art/node_layout.h"
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace sphinx::art {
+
+// A fetched inner node. Holds up to the largest node (N256); `type`
+// determines how many slot words are meaningful.
+class InnerImage {
+ public:
+  InnerImage() = default;
+
+  // Builds a fresh node image (status Idle) for the given full prefix.
+  static InnerImage create(NodeType type, Slice full_prefix) {
+    InnerImage img;
+    const uint8_t depth = static_cast<uint8_t>(full_prefix.size());
+    const uint64_t hash = prefix_hash(full_prefix);
+    img.words_[0] = pack_inner_header(NodeStatus::kIdle, type, depth,
+                                      hash & ((1ULL << 42) - 1));
+    img.words_[1] = hash;
+    const uint32_t flen =
+        full_prefix.size() < kMaxFragBytes
+            ? static_cast<uint32_t>(full_prefix.size())
+            : kMaxFragBytes;
+    img.words_[2] =
+        pack_frag(full_prefix.bytes() + full_prefix.size() - flen, flen);
+    for (uint32_t i = 0; i < node_capacity(type); ++i) img.words_[3 + i] = 0;
+    return img;
+  }
+
+  uint64_t* raw() { return words_.data(); }
+  const uint64_t* raw() const { return words_.data(); }
+
+  uint64_t header() const { return words_[0]; }
+  void set_header(uint64_t w) { words_[0] = w; }
+  NodeStatus status() const { return header_status(words_[0]); }
+  NodeType type() const { return header_type(words_[0]); }
+  uint8_t depth() const { return header_depth(words_[0]); }
+  uint64_t prefix_hash_full() const { return words_[1]; }
+  uint64_t frag_word() const { return words_[2]; }
+
+  uint32_t capacity() const { return node_capacity(type()); }
+  uint32_t size_bytes() const { return inner_node_bytes(type()); }
+
+  uint64_t slot(uint32_t i) const { return words_[3 + i]; }
+  void set_slot(uint32_t i, uint64_t w) { words_[3 + i] = w; }
+
+  // Index of the slot matching branch byte `pkey`, or -1. N256 is
+  // direct-indexed; the other types are scanned linearly.
+  int find_pkey(uint8_t pkey) const {
+    if (type() == NodeType::kN256) {
+      return slot_valid(slot(pkey)) ? static_cast<int>(pkey) : -1;
+    }
+    const uint32_t cap = capacity();
+    for (uint32_t i = 0; i < cap; ++i) {
+      if (slot_valid(slot(i)) && slot_pkey(slot(i)) == pkey) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  // Index of a free slot for `pkey`, or -1 when the node is full. For
+  // N256 the pkey's own slot is the only candidate.
+  int find_free(uint8_t pkey) const {
+    if (type() == NodeType::kN256) {
+      return slot_valid(slot(pkey)) ? -1 : static_cast<int>(pkey);
+    }
+    const uint32_t cap = capacity();
+    for (uint32_t i = 0; i < cap; ++i) {
+      if (!slot_valid(slot(i))) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  uint32_t valid_slot_count() const {
+    uint32_t n = 0;
+    const uint32_t cap = capacity();
+    for (uint32_t i = 0; i < cap; ++i) {
+      if (slot_valid(slot(i))) ++n;
+    }
+    return n;
+  }
+
+  // Valid slot words sorted by branch byte (for ordered scans).
+  void sorted_slots(std::vector<uint64_t>& out) const;
+
+  // Checks the stored prefix fragment against `key` given the parent's
+  // depth: returns false when a byte in the verified window differs
+  // (definite prefix mismatch).
+  bool frag_consistent(const TerminatedKey& key, uint32_t parent_depth) const;
+
+  // Copies this node's slots into a larger-type image (N48 -> N256
+  // re-indexes by branch byte).
+  InnerImage grown_copy(NodeType new_type) const;
+
+ private:
+  std::array<uint64_t, 3 + 256> words_{};
+};
+
+// A fetched leaf. buf_ holds units * 64 bytes.
+class LeafImage {
+ public:
+  LeafImage() = default;
+
+  // Builds a leaf image with status Idle and a valid checksum. `units`
+  // must be >= leaf_units_for(key.size(), value.size()).
+  static LeafImage build(Slice terminated_key, Slice value, uint32_t units);
+
+  std::vector<uint8_t>& buf() { return buf_; }
+  const std::vector<uint8_t>& buf() const { return buf_; }
+  void resize(uint32_t units) { buf_.assign(units * kLeafUnitBytes, 0); }
+
+  uint64_t header() const {
+    uint64_t w;
+    std::memcpy(&w, buf_.data(), 8);
+    return w;
+  }
+  NodeStatus status() const { return header_status(header()); }
+  uint32_t units() const { return leaf_units(header()); }
+  uint32_t key_len() const { return leaf_key_len(header()); }
+  uint32_t val_len() const { return leaf_val_len(header()); }
+
+  Slice key() const {  // terminated key
+    return Slice(reinterpret_cast<const char*>(buf_.data() + 8), key_len());
+  }
+  Slice value() const {
+    return Slice(
+        reinterpret_cast<const char*>(buf_.data() + 8 + pad8(key_len())),
+        val_len());
+  }
+
+  // Verifies the trailing CRC32C (computed with status bits zeroed).
+  bool checksum_ok() const;
+
+  // Rewrites the value in place (must fit in the current units), refreshing
+  // header and checksum; used by the in-place update path.
+  void replace_value(Slice new_value);
+
+  static uint32_t crc_offset(uint32_t key_len, uint32_t val_len) {
+    return 8 + pad8(key_len) + pad8(val_len);
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace sphinx::art

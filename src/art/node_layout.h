@@ -1,0 +1,196 @@
+// On-MN byte layout of ART nodes (paper Fig. 3), shared by the ART
+// baseline, SMART, and Sphinx.
+//
+// Inner node:
+//   word 0  header : status:2 | type:3 | depth:8 | prefix_hash42:42
+//   word 1  full 64-bit prefix hash (placement hash; also used by the
+//           INHT segment-split rehash and by clients to reject
+//           fingerprint collisions)
+//   word 2  prefix fragment: frag_len:8 | up to 6 trailing prefix bytes
+//   word 3+ slots (8 B each; capacity 4 / 16 / 48 / 256 by node type)
+//
+// The fragment always holds the *last* min(6, depth) bytes of the node's
+// full prefix ([depth - frag_len, depth)), a parent-independent invariant:
+// splicing a new inner node above this one never requires rewriting the
+// fragment. Gaps longer than the fragment are verified optimistically at
+// the leaf (standard hybrid path compression).
+//
+// Slot word: valid:1 | is_leaf:1 | meta:6 | partial_key:8 | addr:48
+//   meta = child node type for inner children, leaf size in 64 B units for
+//   leaf children -- so a parent read tells the client exactly how many
+//   bytes to fetch next, in one round trip.
+//
+// Leaf:
+//   word 0  header : status:2 | units:8 | key_len:16 | val_len:16
+//   terminated key bytes (padded to 8), value bytes (padded to 8),
+//   trailing CRC32C word. The checksum is computed with the status field
+//   zeroed, so a reader can validate an image regardless of lock state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "rdma/global_addr.h"
+
+namespace sphinx::art {
+
+enum class NodeStatus : uint8_t { kIdle = 0, kLocked = 1, kInvalid = 2 };
+
+enum class NodeType : uint8_t { kN4 = 0, kN16 = 1, kN48 = 2, kN256 = 3 };
+
+constexpr uint32_t node_capacity(NodeType t) {
+  switch (t) {
+    case NodeType::kN4:
+      return 4;
+    case NodeType::kN16:
+      return 16;
+    case NodeType::kN48:
+      return 48;
+    case NodeType::kN256:
+      return 256;
+  }
+  return 0;
+}
+
+constexpr NodeType next_node_type(NodeType t) {
+  switch (t) {
+    case NodeType::kN4:
+      return NodeType::kN16;
+    case NodeType::kN16:
+      return NodeType::kN48;
+    case NodeType::kN48:
+    case NodeType::kN256:
+      return NodeType::kN256;
+  }
+  return NodeType::kN256;
+}
+
+constexpr uint32_t kInnerHeaderBytes = 24;  // words 0..2
+
+constexpr uint32_t inner_node_bytes(NodeType t) {
+  return kInnerHeaderBytes + node_capacity(t) * 8;
+}
+
+constexpr uint32_t kMaxInnerNodeBytes = inner_node_bytes(NodeType::kN256);
+
+// Maximum key length (terminated) the 8-bit depth field supports.
+constexpr uint32_t kMaxKeyLen = 255;
+
+constexpr uint32_t kMaxFragBytes = 6;
+
+// ---- inner header word -----------------------------------------------------
+
+inline uint64_t pack_inner_header(NodeStatus status, NodeType type,
+                                  uint8_t depth, uint64_t prefix_hash) {
+  return static_cast<uint64_t>(status) |
+         (static_cast<uint64_t>(type) << 2) |
+         (static_cast<uint64_t>(depth) << 5) |
+         ((prefix_hash & ((1ULL << 42) - 1)) << 13);
+}
+
+inline NodeStatus header_status(uint64_t w) {
+  return static_cast<NodeStatus>(w & 0x3);
+}
+inline NodeType header_type(uint64_t w) {
+  return static_cast<NodeType>((w >> 2) & 0x7);
+}
+inline uint8_t header_depth(uint64_t w) {
+  return static_cast<uint8_t>((w >> 5) & 0xff);
+}
+inline uint64_t header_prefix_hash42(uint64_t w) {
+  return (w >> 13) & ((1ULL << 42) - 1);
+}
+inline uint64_t with_status(uint64_t w, NodeStatus s) {
+  return (w & ~0x3ULL) | static_cast<uint64_t>(s);
+}
+
+// ---- prefix fragment word ----------------------------------------------------
+
+inline uint64_t pack_frag(const uint8_t* bytes, uint32_t len) {
+  assert(len <= kMaxFragBytes);
+  uint64_t w = len;
+  for (uint32_t i = 0; i < len; ++i) {
+    w |= static_cast<uint64_t>(bytes[i]) << (8 * (i + 1));
+  }
+  return w;
+}
+
+inline uint32_t frag_len(uint64_t w) {
+  return static_cast<uint32_t>(w & 0xff);
+}
+inline uint8_t frag_byte(uint64_t w, uint32_t i) {
+  return static_cast<uint8_t>((w >> (8 * (i + 1))) & 0xff);
+}
+
+// ---- slot word ---------------------------------------------------------------
+
+constexpr uint64_t kSlotValidBit = 1ULL << 63;
+constexpr uint64_t kSlotLeafBit = 1ULL << 62;
+
+inline uint64_t pack_inner_slot(uint8_t pkey, NodeType child_type,
+                                rdma::GlobalAddr addr) {
+  return kSlotValidBit | (static_cast<uint64_t>(child_type) << 56) |
+         (static_cast<uint64_t>(pkey) << 48) | addr.to48();
+}
+
+inline uint64_t pack_leaf_slot(uint8_t pkey, uint32_t leaf_units,
+                               rdma::GlobalAddr addr) {
+  assert(leaf_units >= 1 && leaf_units < 64);
+  return kSlotValidBit | kSlotLeafBit |
+         (static_cast<uint64_t>(leaf_units) << 56) |
+         (static_cast<uint64_t>(pkey) << 48) | addr.to48();
+}
+
+inline bool slot_valid(uint64_t s) { return (s & kSlotValidBit) != 0; }
+inline bool slot_is_leaf(uint64_t s) { return (s & kSlotLeafBit) != 0; }
+inline uint8_t slot_pkey(uint64_t s) {
+  return static_cast<uint8_t>((s >> 48) & 0xff);
+}
+inline uint8_t slot_meta(uint64_t s) {
+  return static_cast<uint8_t>((s >> 56) & 0x3f);
+}
+inline NodeType slot_child_type(uint64_t s) {
+  return static_cast<NodeType>(slot_meta(s) & 0x7);
+}
+inline uint32_t slot_leaf_units(uint64_t s) { return slot_meta(s); }
+inline rdma::GlobalAddr slot_addr(uint64_t s) {
+  return rdma::GlobalAddr::from48(s & ((1ULL << 48) - 1));
+}
+
+// ---- leaf header / checksum ---------------------------------------------------
+
+constexpr uint32_t kLeafUnitBytes = 64;
+
+inline uint64_t pack_leaf_header(NodeStatus status, uint32_t units,
+                                 uint32_t key_len, uint32_t val_len) {
+  assert(units < 256 && key_len < (1u << 16) && val_len < (1u << 16));
+  return static_cast<uint64_t>(status) |
+         (static_cast<uint64_t>(units) << 2) |
+         (static_cast<uint64_t>(key_len) << 10) |
+         (static_cast<uint64_t>(val_len) << 26);
+}
+
+inline uint32_t leaf_units(uint64_t w) {
+  return static_cast<uint32_t>((w >> 2) & 0xff);
+}
+inline uint32_t leaf_key_len(uint64_t w) {
+  return static_cast<uint32_t>((w >> 10) & 0xffff);
+}
+inline uint32_t leaf_val_len(uint64_t w) {
+  return static_cast<uint32_t>((w >> 26) & 0xffff);
+}
+
+inline uint32_t pad8(uint32_t n) { return (n + 7) & ~7u; }
+
+// Bytes a leaf image needs for a (terminated) key and value, before
+// rounding up to 64 B units.
+inline uint32_t leaf_payload_bytes(uint32_t key_len, uint32_t val_len) {
+  return 8 + pad8(key_len) + pad8(val_len) + 8;  // header + key + val + crc
+}
+
+inline uint32_t leaf_units_for(uint32_t key_len, uint32_t val_len) {
+  return (leaf_payload_bytes(key_len, val_len) + kLeafUnitBytes - 1) /
+         kLeafUnitBytes;
+}
+
+}  // namespace sphinx::art

@@ -1,0 +1,255 @@
+// RemoteTree: the adaptive-radix-tree engine over one-sided RDMA verbs that
+// the ART baseline, SMART and Sphinx all share. Subclasses customize it
+// through protected hooks:
+//
+//   * find_start()        -- Sphinx jumps to the deepest inner node via the
+//                            succinct filter cache + inner node hash table
+//                            instead of starting at the root;
+//   * fetch_inner()       -- SMART interposes its CN-side node cache;
+//   * on_inner_created()/on_inner_switched() -- Sphinx keeps the INHT and
+//                            filter cache in sync with structural changes;
+//   * on_visit_inner()    -- Sphinx learns prefixes for its filter cache.
+//
+// Concurrency protocol (paper Sec. III-C):
+//   * reads are lock-free; leaf reads validate a CRC32C and retry on tears;
+//   * all slot mutations in a node require holding that node's lock
+//     (header CAS Idle -> Locked);
+//   * node type switches build the replacement, install it in the parent
+//     under the parent's lock, then mark the old node Invalid so clients
+//     arriving through stale pointers retry;
+//   * in-place leaf updates lock the leaf with one CAS, then publish value,
+//     Idle status and fresh checksum with a single WRITE (the paper's
+//     combined release+write);
+//   * lock acquisition/release piggybacks on payload writes via doorbell
+//     batches wherever possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "art/node_image.h"
+#include "common/kv_index.h"
+#include "memnode/cluster.h"
+#include "memnode/remote_allocator.h"
+#include "rdma/endpoint.h"
+
+namespace sphinx::art {
+
+struct TreeConfig {
+  // Read children of a node in one doorbell batch during scans (the paper's
+  // Fig. 4E attributes the ART baseline's scan deficit to lacking this).
+  bool batched_scan = true;
+  // SMART mode: every inner node uses the Node-256 layout regardless of
+  // fanout, eliminating type switches at a 2-3x MN memory cost (Fig. 6).
+  bool homogeneous_nodes = false;
+  uint32_t max_op_retries = 256;
+  uint32_t max_leaf_reread = 8;
+  // CPU charge for parsing/processing one node (fetched or cache-hit),
+  // plus a per-byte term (copy + parse bandwidth): processing a 2 KiB
+  // Node-256 image costs real CN cycles that a 56 B Node-4 does not.
+  uint64_t local_ns_per_node = 60;
+  double cpu_bytes_per_ns = 10.0;
+};
+
+struct TreeStats {
+  uint64_t op_retries = 0;
+  uint64_t lock_fail_retries = 0;
+  uint64_t type_switches = 0;
+  uint64_t splits = 0;           // new inner node spliced in
+  uint64_t torn_leaf_rereads = 0;
+  uint64_t invalid_node_retries = 0;
+  uint64_t start_fallbacks = 0;  // custom start abandoned for root descent
+  uint64_t ops_failed = 0;       // retries exhausted (should stay 0)
+};
+
+// Bootstrap info for one tree. The root is a Node-256 with empty prefix;
+// it never type-switches and is never invalidated.
+struct TreeRef {
+  rdma::GlobalAddr root;
+};
+
+// Allocates and initializes an empty tree.
+TreeRef create_tree(mem::Cluster& cluster);
+
+class RemoteTree : public KvIndex {
+ public:
+  RemoteTree(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+             mem::RemoteAllocator& allocator, const TreeRef& ref,
+             const TreeConfig& config);
+
+  bool search(Slice key, std::string* value_out) override;
+  bool insert(Slice key, Slice value) override;
+  bool update(Slice key, Slice value) override;
+  bool remove(Slice key) override;
+  size_t scan(Slice start_key, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  size_t scan_range(
+      Slice low_key, Slice high_key, size_t max_results,
+      std::vector<std::pair<std::string, std::string>>* out) override;
+  const char* name() const override { return "art"; }
+
+  const TreeStats& tree_stats() const { return stats_; }
+  rdma::Endpoint& endpoint() { return endpoint_; }
+
+ protected:
+  struct PathEntry {
+    rdma::GlobalAddr addr;
+    InnerImage image;
+    uint32_t parent_depth = 0;  // depth of the node we came from
+    int taken_slot = -1;        // slot index we descended through
+    uint64_t taken_word = 0;    // that slot's word as we saw it
+  };
+
+  enum class DescendStatus {
+    kFoundLeaf,         // leaf with exactly the target key
+    kFoundInvalidLeaf,  // slot points at a deleted (Invalid) leaf
+    kNoSlot,            // deepest node has no child for the branch byte
+    kLeafMismatch,      // reached a leaf holding a different key
+    kFragMismatch,      // definite prefix mismatch inside a fragment window
+    kNeedRetry,         // transient anomaly (invalid node, torn leaf, ...)
+  };
+
+  struct Descent {
+    DescendStatus status = DescendStatus::kNeedRetry;
+    bool from_custom_start = false;
+    std::vector<PathEntry> path;  // start .. deepest inner node reached
+    LeafImage leaf;               // for kFoundLeaf / kLeafMismatch /
+                                  // kFoundInvalidLeaf
+    rdma::GlobalAddr leaf_addr;
+    uint32_t cpl = 0;             // common prefix len for kLeafMismatch
+  };
+
+  // ---- subclass hooks -------------------------------------------------------
+
+  // Provides a verified descent start deeper than the root. Returns false
+  // to start at the root. `out->image` must be a validated, fetched node
+  // whose full prefix is a prefix of `key`.
+  virtual bool find_start(const TerminatedKey& key, PathEntry* out) {
+    (void)key;
+    (void)out;
+    return false;
+  }
+
+  // Called for every inner node traversed during a descent.
+  virtual void on_visit_inner(const TerminatedKey& key,
+                              const PathEntry& entry) {
+    (void)key;
+    (void)entry;
+  }
+
+  // A new inner node (from a split) became reachable.
+  virtual void on_inner_created(Slice full_prefix, const InnerImage& image,
+                                rdma::GlobalAddr addr) {
+    (void)full_prefix;
+    (void)image;
+    (void)addr;
+  }
+
+  // `old_addr` was replaced by `new_addr` (type switch); old node is now
+  // Invalid. Both share the same full prefix / prefix hash.
+  virtual void on_inner_switched(const InnerImage& old_image,
+                                 rdma::GlobalAddr old_addr,
+                                 const InnerImage& new_image,
+                                 rdma::GlobalAddr new_addr) {
+    (void)old_image;
+    (void)old_addr;
+    (void)new_image;
+    (void)new_addr;
+  }
+
+  // Fetches an inner node of (claimed) type `type`. Default: one RDMA READ.
+  virtual bool fetch_inner(rdma::GlobalAddr addr, NodeType type,
+                           InnerImage* out);
+
+  // A write this client performed on an inner node (cache fill hint).
+  virtual void note_inner_write(rdma::GlobalAddr addr,
+                                const InnerImage& image) {
+    (void)addr;
+    (void)image;
+  }
+
+  // A node observed to be stale/invalid (cache eviction hint).
+  virtual void invalidate_inner(rdma::GlobalAddr addr) { (void)addr; }
+
+  // Caching-subclass coordination: descend() calls begin_descend() before
+  // its first fetch; a subclass reports through descent_used_cache()
+  // whether any node image came from a local cache, in which case a
+  // conclusive "absent" verdict is re-checked remotely (SMART's reverse
+  // check). set_cache_bypass(true) forces the next fetches to go remote.
+  virtual void begin_descend() {}
+  virtual bool descent_used_cache() const { return false; }
+  virtual void set_cache_bypass(bool bypass) { (void)bypass; }
+
+  // ---- shared machinery (used by subclasses too) ---------------------------
+
+  // Reads + checksum-validates a leaf, retrying torn images.
+  bool read_leaf(rdma::GlobalAddr addr, uint32_t units, LeafImage* out);
+
+  Descent descend(const TerminatedKey& key, bool allow_custom_start);
+
+  // Memory node placement (consistent hashing, Sec. III).
+  uint32_t mn_for_prefix(uint64_t hash) const {
+    return cluster_.ring().mn_for(hash);
+  }
+
+  mem::Cluster& cluster_;
+  rdma::Endpoint& endpoint_;
+  mem::RemoteAllocator& allocator_;
+  TreeRef ref_;
+  TreeConfig config_;
+  TreeStats stats_;
+
+ private:
+  // Creates + remotely writes a leaf; returns its address and slot word.
+  struct NewLeaf {
+    rdma::GlobalAddr addr;
+    uint32_t units = 0;
+    LeafImage image;  // keeps the write buffer alive until batch execute
+  };
+  NewLeaf make_leaf(const TerminatedKey& key, Slice value,
+                    rdma::DoorbellBatch* batch);
+
+  NodeType new_inner_type() const {
+    return config_.homogeneous_nodes ? NodeType::kN256 : NodeType::kN4;
+  }
+  uint32_t inner_alloc_bytes(NodeType t) const {
+    return config_.homogeneous_nodes ? inner_node_bytes(NodeType::kN256)
+                                     : inner_node_bytes(t);
+  }
+
+  // Acquires `addr`'s node lock given the header we last saw (must be
+  // Idle); optionally piggybacks `pre_ops` (e.g. payload writes) in the
+  // same doorbell batch. On success re-reads the node into *fresh.
+  bool lock_node(rdma::GlobalAddr addr, uint64_t seen_header,
+                 InnerImage* fresh);
+
+  void unlock_node(rdma::GlobalAddr addr, uint64_t locked_header);
+
+  // Insert sub-cases; each returns true when the insert completed, false
+  // to retry the whole operation.
+  bool insert_into_free_slot(const TerminatedKey& key, Slice value,
+                             Descent& d);
+  bool insert_split(const TerminatedKey& key, Slice value, Descent& d,
+                    Slice existing_key);
+  bool insert_replace_invalid_leaf(const TerminatedKey& key, Slice value,
+                                   Descent& d);
+  // Replaces the full node at path.back() with the next larger type.
+  // Pre: caller holds no locks. Returns true if the switch happened.
+  bool type_switch(const TerminatedKey& key, Descent& d);
+
+  // Reads some leaf key below `addr` to recover an exact prefix.
+  bool recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
+                        std::string* key_out);
+
+  // Recursive scan helper; returns true when the scan is complete --
+  // `count` results collected, or (when `high` is non-null) the in-order
+  // walk passed beyond *high.
+  bool scan_node(const InnerImage& node, const TerminatedKey& bound,
+                 bool bounded, size_t count, const TerminatedKey* high,
+                 std::vector<std::pair<std::string, std::string>>* out,
+                 uint32_t depth_budget);
+};
+
+}  // namespace sphinx::art

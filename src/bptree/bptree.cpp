@@ -1,0 +1,710 @@
+#include "bptree/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <chrono>
+#include <thread>
+
+
+namespace sphinx::bptree {
+
+namespace {
+
+// Node layout (128 words):
+//   word 0    header: lock:1 | is_leaf:1 | level:8 | count:16 | version:32
+//   word 1    fence_lo (inclusive)
+//   word 2    fence_hi (exclusive; UINT64_MAX == +infinity)
+//   word 3    next-leaf pointer (addr48; leaves only)
+//   words 4..126  payload (see below)
+//   word 127  version tail (torn-read detector; must equal header version)
+//
+// Internal payload: keys in words [4, 4+count), child words in
+// [65, 65+count+1). Child word: addr48 | is_leaf << 62.
+// Leaf payload: 12 entries of 10 words each starting at word 4:
+// [key][val_len][8 words of value bytes].
+constexpr uint32_t kWords = kNodeBytes / 8;
+constexpr uint32_t kTailWord = kWords - 1;
+constexpr uint32_t kInternalKeyBase = 4;
+constexpr uint32_t kInternalChildBase = 65;
+constexpr uint32_t kInternalCap = 61;
+constexpr uint32_t kLeafEntryBase = 4;
+constexpr uint32_t kLeafEntryWords = 10;
+constexpr uint32_t kLeafCap = 12;
+
+constexpr uint64_t kLockBit = 1ULL << 63;
+constexpr uint64_t kLeafBit = 1ULL << 62;
+
+uint64_t pack_header(bool locked, bool is_leaf, uint8_t level, uint16_t count,
+                     uint32_t version) {
+  return (locked ? kLockBit : 0) | (is_leaf ? kLeafBit : 0) |
+         (static_cast<uint64_t>(level) << 48) |
+         (static_cast<uint64_t>(count) << 32) | version;
+}
+bool hdr_locked(uint64_t h) { return (h & kLockBit) != 0; }
+bool hdr_is_leaf(uint64_t h) { return (h & kLeafBit) != 0; }
+uint8_t hdr_level(uint64_t h) { return static_cast<uint8_t>((h >> 48) & 0xff); }
+uint16_t hdr_count(uint64_t h) {
+  return static_cast<uint16_t>((h >> 32) & 0xffff);
+}
+uint32_t hdr_version(uint64_t h) { return static_cast<uint32_t>(h); }
+
+uint64_t pack_child(rdma::GlobalAddr addr, bool is_leaf) {
+  return addr.to48() | (is_leaf ? kLeafBit : 0);
+}
+rdma::GlobalAddr child_addr(uint64_t c) {
+  return rdma::GlobalAddr::from48(c & ((1ULL << 48) - 1));
+}
+bool child_is_leaf(uint64_t c) { return (c & kLeafBit) != 0; }
+
+// Root-pointer word: addr48 | level:8 << 48 | is_leaf:1 << 62 | present:1.
+uint64_t pack_root(rdma::GlobalAddr addr, bool is_leaf, uint8_t level) {
+  return addr.to48() | (static_cast<uint64_t>(level) << 48) |
+         (is_leaf ? kLeafBit : 0) | kLockBit;
+}
+
+uint64_t key_of(Slice key) {
+  assert(key.size() == 8 && "B+ tree baseline supports 8-byte keys only");
+  return decode_u64_key(key);
+}
+
+// Real-time backoff between retries: on an oversubscribed host a lock
+// holder may be descheduled for a whole scheduler quantum, so burning the
+// retry budget in a busy loop starves the operation (same rationale as
+// art::RemoteTree's retry_backoff).
+void retry_backoff(uint32_t attempt) {
+  if (attempt == 0) return;
+  if (attempt < 8) {
+    std::this_thread::yield();
+    return;
+  }
+  const uint32_t us = std::min<uint32_t>(1u << std::min(attempt - 8, 9u), 400);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+struct NodeImage {
+  uint64_t w[kWords] = {};
+
+  uint64_t header() const { return w[0]; }
+  bool is_leaf() const { return hdr_is_leaf(w[0]); }
+  uint16_t count() const { return hdr_count(w[0]); }
+  uint8_t level() const { return hdr_level(w[0]); }
+  uint32_t version() const { return hdr_version(w[0]); }
+  bool consistent() const {
+    return static_cast<uint32_t>(w[kTailWord]) == version();
+  }
+  uint64_t lo() const { return w[1]; }
+  uint64_t hi() const { return w[2]; }
+  bool covers(uint64_t key) const { return key >= lo() && key < hi(); }
+  rdma::GlobalAddr next_leaf() const {
+    return w[3] == 0 ? rdma::GlobalAddr()
+                     : rdma::GlobalAddr::from48(w[3]);
+  }
+
+  void set_meta(bool is_leaf, uint8_t level, uint16_t count,
+                uint32_t version, bool locked = false) {
+    w[0] = pack_header(locked, is_leaf, level, count, version);
+    w[kTailWord] = version;
+  }
+
+  // ---- internal accessors ----
+  uint64_t ikey(uint32_t i) const { return w[kInternalKeyBase + i]; }
+  void set_ikey(uint32_t i, uint64_t k) { w[kInternalKeyBase + i] = k; }
+  uint64_t child(uint32_t i) const { return w[kInternalChildBase + i]; }
+  void set_child(uint32_t i, uint64_t c) { w[kInternalChildBase + i] = c; }
+
+  // Child index routing `key`: children[i] covers [ikey(i-1), ikey(i)).
+  uint32_t route(uint64_t key) const {
+    uint32_t i = 0;
+    while (i < count() && key >= ikey(i)) ++i;
+    return i;
+  }
+
+  // ---- leaf accessors ----
+  uint64_t lkey(uint32_t i) const {
+    return w[kLeafEntryBase + i * kLeafEntryWords];
+  }
+  uint32_t lval_len(uint32_t i) const {
+    return static_cast<uint32_t>(
+        w[kLeafEntryBase + i * kLeafEntryWords + 1] & 0xffff);
+  }
+  const uint8_t* lval(uint32_t i) const {
+    return reinterpret_cast<const uint8_t*>(
+        &w[kLeafEntryBase + i * kLeafEntryWords + 2]);
+  }
+  void set_entry(uint32_t i, uint64_t key, Slice value) {
+    uint64_t* base = &w[kLeafEntryBase + i * kLeafEntryWords];
+    base[0] = key;
+    base[1] = value.size();
+    std::memset(&base[2], 0, 64);
+    std::memcpy(&base[2], value.data(), value.size());
+  }
+  void copy_entry_from(const NodeImage& src, uint32_t src_i, uint32_t dst_i) {
+    std::memcpy(&w[kLeafEntryBase + dst_i * kLeafEntryWords],
+                &src.w[kLeafEntryBase + src_i * kLeafEntryWords],
+                kLeafEntryWords * 8);
+  }
+  // First index with lkey >= key (entries sorted).
+  uint32_t lower_bound(uint64_t key) const {
+    uint32_t i = 0;
+    while (i < count() && lkey(i) < key) ++i;
+    return i;
+  }
+};
+
+struct PathEntry {
+  rdma::GlobalAddr addr;
+  NodeImage image;
+  bool from_cache = false;
+};
+
+BpTreeRef create_bptree(mem::Cluster& cluster) {
+  rdma::Endpoint loader = cluster.make_loader_endpoint();
+  mem::RemoteAllocator allocator(cluster, loader);
+  BpTreeRef ref;
+  ref.root_ptr = cluster.reserve_bootstrap_slot(0);
+
+  NodeImage leaf;
+  leaf.set_meta(/*is_leaf=*/true, /*level=*/0, /*count=*/0, /*version=*/1);
+  leaf.w[1] = 0;
+  leaf.w[2] = UINT64_MAX;
+  const uint32_t mn = cluster.ring().mn_for(0x5eedb9);
+  rdma::GlobalAddr addr =
+      allocator.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
+  loader.write(addr, leaf.w, kNodeBytes);
+  loader.write64(ref.root_ptr, pack_root(addr, /*is_leaf=*/true, 0));
+  return ref;
+}
+
+BpTreeIndex::BpTreeIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+                         mem::RemoteAllocator& allocator,
+                         const BpTreeRef& ref, bool cache_internal)
+    : cluster_(cluster),
+      endpoint_(endpoint),
+      allocator_(allocator),
+      ref_(ref),
+      cache_internal_(cache_internal) {}
+
+// Publishes a locked node's new content and releases the lock in one
+// round trip, with the header word ordered LAST: a competing writer's
+// lock CAS can only succeed after the complete body is visible, so two
+// full-node writes can never interleave. (Verbs in a doorbell batch
+// execute in post order.)
+static void publish_node(rdma::Endpoint& ep, rdma::GlobalAddr addr,
+                         const NodeImage& node) {
+  rdma::DoorbellBatch batch(ep);
+  batch.add_write(addr.plus(8), &node.w[1], kNodeBytes - 8);
+  batch.add_write(addr, &node.w[0], 8);
+  batch.execute();
+}
+
+// Reads a node under an already-held lock: the only possible concurrent
+// writer is the *previous* lock holder whose combined release+content
+// WRITE is still landing; spin until its tail version arrives (the writer
+// is a live in-process thread, so this always terminates).
+static void read_node_locked(rdma::Endpoint& ep, rdma::GlobalAddr addr,
+                             NodeImage* out, BpTreeStats* stats) {
+  for (;;) {
+    ep.read(addr, out->w, kNodeBytes);
+    ep.advance_local(60 + kNodeBytes / 10);
+    if (out->consistent()) return;
+    stats->torn_rereads++;
+    std::this_thread::yield();
+  }
+}
+
+// Reads a node, retrying torn images (version head != tail). A torn image
+// means a writer's publish is in flight; with the header ordered last the
+// window spans the body write, and on an oversubscribed host the writer
+// may be descheduled mid-publish -- so later retries yield and sleep
+// instead of spinning.
+static bool read_node_checked(rdma::Endpoint& ep, rdma::GlobalAddr addr,
+                              NodeImage* out, BpTreeStats* stats) {
+  for (uint32_t attempt = 0; attempt < 64; ++attempt) {
+    ep.read(addr, out->w, kNodeBytes);
+    ep.advance_local(60 + kNodeBytes / 10);
+    if (out->consistent()) return true;
+    stats->torn_rereads++;
+    retry_backoff(attempt + 1);
+  }
+  return false;
+}
+
+bool BpTreeIndex::descend(uint64_t key, std::vector<PathEntry>* path,
+                          bool use_cache) {
+  path->clear();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    retry_backoff(static_cast<uint32_t>(attempt));
+    path->clear();
+    if (root_word_cache_ == 0 || !use_cache) {
+      root_word_cache_ = endpoint_.read64(ref_.root_ptr);
+    }
+    const uint64_t root_word = root_word_cache_;
+    PathEntry cur;
+    cur.addr = child_addr(root_word);
+    bool is_leaf = child_is_leaf(root_word);
+
+    bool anomaly = false;
+    for (uint32_t hop = 0; hop < 32; ++hop) {
+      if (is_leaf) {
+        if (!read_node_checked(endpoint_, cur.addr, &cur.image, &stats_)) {
+          anomaly = true;
+          break;
+        }
+        // A racing split may have moved the key right: follow the leaf
+        // chain. Separators appear in parents only after the splitter's
+        // parent insert lands, so the chain walk must tolerate a laggard
+        // splitter being arbitrarily far behind.
+        uint32_t chase = 0;
+        while (key >= cur.image.hi() && !cur.image.next_leaf().is_null() &&
+               chase++ < 4096) {
+          cur.addr = cur.image.next_leaf();
+          if (!read_node_checked(endpoint_, cur.addr, &cur.image, &stats_)) {
+            anomaly = true;
+            break;
+          }
+        }
+        if (anomaly || !cur.image.covers(key)) {
+          anomaly = true;
+          break;
+        }
+        path->push_back(std::move(cur));
+        return true;
+      }
+
+      // Internal node: serve from the CN cache when allowed.
+      cur.from_cache = false;
+      if (use_cache && cache_internal_) {
+        auto it = cache_.find(cur.addr.raw());
+        if (it != cache_.end()) {
+          std::memcpy(cur.image.w, it->second.data(), kNodeBytes);
+          cur.from_cache = true;
+          stats_.cache_hits++;
+          endpoint_.advance_local(60 + kNodeBytes / 10);
+        }
+      }
+      if (!cur.from_cache) {
+        if (!read_node_checked(endpoint_, cur.addr, &cur.image, &stats_)) {
+          anomaly = true;
+          break;
+        }
+        if (cache_internal_) {
+          cache_[cur.addr.raw()].assign(cur.image.w, cur.image.w + kWords);
+        }
+      }
+      if (!cur.image.covers(key) || cur.image.is_leaf()) {
+        // Stale cache or stale root pointer.
+        cache_.erase(cur.addr.raw());
+        stats_.cache_invalidations++;
+        anomaly = true;
+        break;
+      }
+      const uint32_t idx = cur.image.route(key);
+      const uint64_t child_word = cur.image.child(idx);
+      PathEntry next;
+      next.addr = child_addr(child_word);
+      is_leaf = child_is_leaf(child_word);
+      path->push_back(std::move(cur));
+      cur = std::move(next);
+    }
+    if (!anomaly) return false;  // depth exhausted (corrupt)
+    stats_.op_retries++;
+    use_cache = false;  // retry against remote truth (also refreshes root)
+  }
+  return false;
+}
+
+bool BpTreeIndex::search(Slice key, std::string* value_out) {
+  const uint64_t k = key_of(key);
+  std::vector<PathEntry> path;
+  if (!descend(k, &path, /*use_cache=*/true)) {
+    stats_.ops_failed++;
+    return false;
+  }
+  const NodeImage& leaf = path.back().image;
+  const uint32_t idx = leaf.lower_bound(k);
+  if (idx >= leaf.count() || leaf.lkey(idx) != k) return false;
+  if (value_out != nullptr) {
+    value_out->assign(reinterpret_cast<const char*>(leaf.lval(idx)),
+                      leaf.lval_len(idx));
+  }
+  return true;
+}
+
+bool BpTreeIndex::insert(Slice key, Slice value) {
+  bool existed = false;
+  if (!write_key(key_of(key), value, WriteMode::kInsert, &existed)) {
+    return false;
+  }
+  return !existed;
+}
+
+bool BpTreeIndex::update(Slice key, Slice value) {
+  bool existed = false;
+  if (!write_key(key_of(key), value, WriteMode::kUpdateOnly, &existed)) {
+    return false;
+  }
+  return existed;
+}
+
+bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
+                            bool* existed) {
+  assert(value.size() <= kMaxValueBytes);
+  std::vector<PathEntry> path;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    retry_backoff(static_cast<uint32_t>(attempt));
+    if (!descend(key, &path, /*use_cache=*/attempt < 8)) {
+      break;
+    }
+    PathEntry& leaf_entry = path.back();
+    const uint64_t seen = leaf_entry.image.header();
+    if (hdr_locked(seen)) {
+      stats_.op_retries++;
+      continue;
+    }
+    // Lock the leaf: CAS on the header word.
+    if (!endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit)) {
+      stats_.lock_fail_retries++;
+      continue;
+    }
+    // The previous holder's combined release+content WRITE publishes the
+    // header word first; wait for its tail version before trusting the
+    // image (the lock keeps any *new* writer out meanwhile).
+    NodeImage fresh;
+    read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    if (!fresh.covers(key)) {
+      // Split raced between descent and lock: release and retry.
+      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      stats_.op_retries++;
+      continue;
+    }
+
+    const uint32_t idx = fresh.lower_bound(key);
+    const bool found = idx < fresh.count() && fresh.lkey(idx) == key;
+    *existed = found;
+
+    if (found && mode == WriteMode::kInsert) {
+      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      return true;  // *existed tells the caller
+    }
+    if (!found && mode == WriteMode::kUpdateOnly) {
+      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      return true;
+    }
+
+    if (found) {
+      fresh.set_entry(idx, key, value);
+      fresh.set_meta(true, 0, fresh.count(), fresh.version() + 1);
+      publish_node(endpoint_, leaf_entry.addr, fresh);
+      return true;
+    }
+
+    if (fresh.count() < kLeafCap) {
+      for (uint32_t i = fresh.count(); i > idx; --i) {
+        fresh.copy_entry_from(fresh, i - 1, i);
+      }
+      fresh.set_entry(idx, key, value);
+      fresh.set_meta(true, 0, fresh.count() + 1, fresh.version() + 1);
+      publish_node(endpoint_, leaf_entry.addr, fresh);
+      return true;
+    }
+
+    // Leaf full: split, then thread the separator up the path.
+    leaf_entry.image = fresh;  // locked image
+    if (!split_leaf(path, key)) {
+      stats_.op_retries++;
+      continue;
+    }
+    // The key still needs inserting; re-descend (leaf boundaries moved).
+    stats_.op_retries++;
+  }
+  stats_.ops_failed++;
+  return false;
+}
+
+bool BpTreeIndex::split_leaf(std::vector<PathEntry>& path, uint64_t key) {
+  (void)key;
+  PathEntry& leaf_entry = path.back();
+  NodeImage& left = leaf_entry.image;  // locked, fresh
+  const uint32_t mid = kLeafCap / 2;
+
+  NodeImage right;
+  right.set_meta(true, 0, kLeafCap - mid, 1);
+  right.w[1] = left.lkey(mid);   // fence_lo = separator
+  right.w[2] = left.hi();
+  right.w[3] = left.w[3];        // inherit next pointer
+  for (uint32_t i = mid; i < kLeafCap; ++i) {
+    right.copy_entry_from(left, i, i - mid);
+  }
+  const uint64_t separator = left.lkey(mid);
+  const uint32_t mn = cluster_.ring().mn_for(separator * 0x9e3779b9ULL);
+  rdma::GlobalAddr right_addr =
+      allocator_.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
+
+  left.w[2] = separator;  // new fence_hi
+  left.w[3] = right_addr.to48();
+  left.set_meta(true, 0, mid, left.version() + 1);  // also unlocks
+
+  // One round trip: publish the sibling, then the shrunk (and unlocked)
+  // left leaf.
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    batch.add_write(right_addr, right.w, kNodeBytes);  // unreachable yet
+    batch.add_write(leaf_entry.addr.plus(8), &left.w[1], kNodeBytes - 8);
+    batch.add_write(leaf_entry.addr, &left.w[0], 8);  // unlocks last
+    batch.execute();
+  }
+  stats_.leaf_splits++;
+
+  return insert_into_parent(separator, right_addr, /*right_is_leaf=*/true,
+                            /*parent_level=*/1, leaf_entry.addr);
+}
+
+bool BpTreeIndex::insert_into_parent(uint64_t separator,
+                                     rdma::GlobalAddr right,
+                                     bool right_is_leaf, uint8_t parent_level,
+                                     rdma::GlobalAddr left) {
+  for (uint32_t attempt = 0; attempt < 4096; ++attempt) {
+    retry_backoff(std::min(attempt, 64u));
+
+    const uint64_t root_word = endpoint_.read64(ref_.root_ptr);
+    const bool root_is_leaf = child_is_leaf(root_word);
+    const uint8_t root_level =
+        root_is_leaf ? 0 : static_cast<uint8_t>((root_word >> 48) & 0xff);
+
+    if (parent_level > root_level) {
+      // The node that split was the root: grow the tree by one level.
+      // If the root pointer no longer names `left`, another grower's CAS
+      // is in flight below our level; wait for it and re-evaluate.
+      if (child_addr(root_word) != left) {
+        continue;
+      }
+      NodeImage root;
+      root.set_meta(false, parent_level, 1, 1);
+      root.w[1] = 0;
+      root.w[2] = UINT64_MAX;
+      root.set_ikey(0, separator);
+      root.set_child(0, pack_child(left, right_is_leaf));
+      root.set_child(1, pack_child(right, right_is_leaf));
+      const uint32_t mn = cluster_.ring().mn_for(separator ^ 0xb7e15163ULL);
+      rdma::GlobalAddr root_addr =
+          allocator_.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
+      endpoint_.write(root_addr, root.w, kNodeBytes);
+      if (endpoint_.cas(ref_.root_ptr, root_word,
+                        pack_root(root_addr, false, parent_level))) {
+        root_word_cache_ = pack_root(root_addr, false, parent_level);
+        stats_.root_splits++;
+        return true;
+      }
+      allocator_.free(root_addr, kNodeBytes, mem::AllocTag::kInnerNode);
+      root_word_cache_ = 0;
+      continue;
+    }
+
+    // Locate the current node at parent_level covering the separator by
+    // walking from the root and STOPPING at parent_level. (A full descent
+    // to the leaf would pass through the split level, whose routing entry
+    // is exactly what we are installing.)
+    PathEntry parent_entry;
+    {
+      if (root_is_leaf) continue;  // height changing underneath us
+      bool found = false;
+      bool ok = true;
+      PathEntry cur;
+      cur.addr = child_addr(root_word);
+      for (uint32_t hop = 0; hop < 32; ++hop) {
+        if (!read_node_checked(endpoint_, cur.addr, &cur.image, &stats_)) {
+          ok = false;
+          break;
+        }
+        if (cur.image.is_leaf() || !cur.image.covers(separator) ||
+            cur.image.level() < parent_level) {
+          ok = false;  // stale routing; re-read the root pointer and retry
+          break;
+        }
+        if (cur.image.level() == parent_level) {
+          found = true;
+          break;
+        }
+        const uint32_t i = cur.image.route(separator);
+        cur.addr = child_addr(cur.image.child(i));
+      }
+      if (!ok || !found) continue;
+      parent_entry = std::move(cur);
+    }
+    PathEntry* parent = &parent_entry;
+
+    // Another client (or an earlier attempt) may have finished the job.
+    {
+      const uint32_t i = parent->image.route(separator);
+      if (i > 0 && parent->image.ikey(i - 1) == separator) return true;
+    }
+
+    const uint64_t seen = parent->image.header();
+    if (hdr_locked(seen) ||
+        !endpoint_.cas(parent->addr, seen, seen | kLockBit)) {
+      stats_.lock_fail_retries++;
+      continue;
+    }
+    NodeImage fresh;
+    read_node_locked(endpoint_, parent->addr, &fresh, &stats_);
+    if (!fresh.covers(separator) || fresh.level() != parent_level) {
+      endpoint_.write64(parent->addr, fresh.header() & ~kLockBit);
+      continue;  // the parent split away between descent and lock
+    }
+    {
+      const uint32_t i = fresh.route(separator);
+      if (i > 0 && fresh.ikey(i - 1) == separator) {
+        endpoint_.write64(parent->addr, fresh.header() & ~kLockBit);
+        return true;
+      }
+    }
+
+    const uint32_t idx = fresh.route(separator);
+    if (fresh.count() < kInternalCap) {
+      for (uint32_t i = fresh.count(); i > idx; --i) {
+        fresh.set_ikey(i, fresh.ikey(i - 1));
+        fresh.set_child(i + 1, fresh.child(i));
+      }
+      fresh.set_ikey(idx, separator);
+      fresh.set_child(idx + 1, pack_child(right, right_is_leaf));
+      fresh.set_meta(false, fresh.level(), fresh.count() + 1,
+                     fresh.version() + 1);
+      publish_node(endpoint_, parent->addr, fresh);
+      if (cache_internal_) {
+        cache_[parent->addr.raw()].assign(fresh.w, fresh.w + kWords);
+      }
+      return true;
+    }
+
+    // Parent full: split it, place (separator -> right) into the correct
+    // half locally, publish both halves, then promote the middle key one
+    // level up.
+    const uint32_t mid = kInternalCap / 2;
+    const uint64_t promoted = fresh.ikey(mid);
+    NodeImage rnode;
+    rnode.set_meta(false, fresh.level(), kInternalCap - mid - 1, 1);
+    rnode.w[1] = promoted;
+    rnode.w[2] = fresh.hi();
+    for (uint32_t i = mid + 1; i < kInternalCap; ++i) {
+      rnode.set_ikey(i - mid - 1, fresh.ikey(i));
+    }
+    for (uint32_t i = mid + 1; i <= kInternalCap; ++i) {
+      rnode.set_child(i - mid - 1, fresh.child(i));
+    }
+    const uint32_t mn = cluster_.ring().mn_for(promoted ^ 0x2545f491ULL);
+    rdma::GlobalAddr rnode_addr =
+        allocator_.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
+
+    fresh.w[2] = promoted;
+    fresh.set_meta(false, fresh.level(), mid, fresh.version() + 1);
+
+    NodeImage* target = separator < promoted ? &fresh : &rnode;
+    const uint32_t tidx = target->route(separator);
+    for (uint32_t i = target->count(); i > tidx; --i) {
+      target->set_ikey(i, target->ikey(i - 1));
+      target->set_child(i + 1, target->child(i));
+    }
+    target->set_ikey(tidx, separator);
+    target->set_child(tidx + 1, pack_child(right, right_is_leaf));
+    target->set_meta(false, target->level(), target->count() + 1,
+                     target->version());
+
+    {
+      rdma::DoorbellBatch batch(endpoint_);
+      batch.add_write(rnode_addr, rnode.w, kNodeBytes);
+      batch.add_write(parent->addr.plus(8), &fresh.w[1], kNodeBytes - 8);
+      batch.add_write(parent->addr, &fresh.w[0], 8);  // unlocks last
+      batch.execute();
+    }
+    stats_.internal_splits++;
+    if (cache_internal_) {
+      cache_[parent->addr.raw()].assign(fresh.w, fresh.w + kWords);
+      cache_[rnode_addr.raw()].assign(rnode.w, rnode.w + kWords);
+    }
+    return insert_into_parent(promoted, rnode_addr, /*right_is_leaf=*/false,
+                              static_cast<uint8_t>(parent_level + 1),
+                              parent->addr);
+  }
+  stats_.ops_failed++;
+  return false;
+}
+
+bool BpTreeIndex::remove(Slice key) {
+  const uint64_t k = key_of(key);
+  std::vector<PathEntry> path;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    retry_backoff(static_cast<uint32_t>(attempt));
+    if (!descend(k, &path, attempt < 8)) break;
+    PathEntry& leaf_entry = path.back();
+    const uint64_t seen = leaf_entry.image.header();
+    if (hdr_locked(seen) ||
+        !endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit)) {
+      stats_.lock_fail_retries++;
+      continue;
+    }
+    NodeImage fresh;
+    read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    if (!fresh.covers(k)) {
+      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      continue;
+    }
+    const uint32_t idx = fresh.lower_bound(k);
+    if (idx >= fresh.count() || fresh.lkey(idx) != k) {
+      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      return false;
+    }
+    for (uint32_t i = idx + 1; i < fresh.count(); ++i) {
+      fresh.copy_entry_from(fresh, i, i - 1);
+    }
+    fresh.set_meta(true, 0, fresh.count() - 1, fresh.version() + 1);
+    publish_node(endpoint_, leaf_entry.addr, fresh);
+    return true;
+  }
+  stats_.ops_failed++;
+  return false;
+}
+
+size_t BpTreeIndex::scan(Slice start_key, size_t count,
+                         std::vector<std::pair<std::string, std::string>>*
+                             out) {
+  return scan_range(start_key, encode_u64_key(UINT64_MAX - 1), count, out);
+}
+
+size_t BpTreeIndex::scan_range(
+    Slice low_key, Slice high_key, size_t max_results,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  const uint64_t lo = key_of(low_key);
+  const uint64_t hi = key_of(high_key);
+  if (hi < lo || max_results == 0) return 0;
+
+  std::vector<PathEntry> path;
+  if (!descend(lo, &path, /*use_cache=*/true)) {
+    stats_.ops_failed++;
+    return 0;
+  }
+  NodeImage leaf = path.back().image;
+  for (uint32_t hop = 0; hop < 1 << 20; ++hop) {
+    for (uint32_t i = 0; i < leaf.count(); ++i) {
+      const uint64_t k = leaf.lkey(i);
+      if (k < lo) continue;
+      if (k > hi) return out->size();
+      out->emplace_back(
+          encode_u64_key(k),
+          std::string(reinterpret_cast<const char*>(leaf.lval(i)),
+                      leaf.lval_len(i)));
+      if (out->size() >= max_results) return out->size();
+    }
+    const rdma::GlobalAddr next = leaf.next_leaf();
+    if (next.is_null() || leaf.hi() > hi) return out->size();
+    if (!read_node_checked(endpoint_, next, &leaf, &stats_)) {
+      return out->size();
+    }
+  }
+  return out->size();
+}
+
+}  // namespace sphinx::bptree

@@ -1,0 +1,118 @@
+// A write-optimized B+ tree on disaggregated memory in the style of
+// Sherman (Wang et al., SIGMOD'22) -- the ordered-index design the paper's
+// related work positions ART-based indexes against.
+//
+// Included as an *extra* baseline beyond the paper's evaluation: it
+// illustrates precisely why the paper targets radix trees -- a remote B+
+// tree handles fixed-length 8-byte keys well (leaf-chained scans, shallow
+// fanout-61 levels) but cannot index variable-length keys like the email
+// dataset without slotted pages and key indirection.
+//
+// Design (one-sided verbs only):
+//   * fixed 1 KiB nodes; internal fanout 61, leaves hold 12 entries of
+//     (u64 key, <=64 B value);
+//   * every node carries [fence_lo, fence_hi) routing fences and a version
+//     replicated in its first and last words: readers fetch a node with
+//     one READ and reject torn images by comparing the two copies;
+//   * writers take a node-grained lock with one CAS on the header word,
+//     re-read, then publish content + version bump + unlock with a single
+//     WRITE (combined release, like the paper's leaf update);
+//   * leaves are chained (next pointer) so scans walk sibling leaves
+//     without re-descending;
+//   * clients cache internal nodes (Sherman caches its internal levels);
+//     stale routing is detected by fence checks and invalidated.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/kv_index.h"
+#include "memnode/cluster.h"
+#include "memnode/remote_allocator.h"
+#include "rdma/endpoint.h"
+
+namespace sphinx::bptree {
+
+constexpr uint32_t kNodeBytes = 1024;
+constexpr uint32_t kMaxValueBytes = 64;
+
+// Shared bootstrap state: the word holding the root pointer (packed
+// addr48 | level) lives in a bootstrap slot.
+struct BpTreeRef {
+  rdma::GlobalAddr root_ptr;
+};
+
+// Creates an empty tree (a single empty leaf as root).
+BpTreeRef create_bptree(mem::Cluster& cluster);
+
+struct BpTreeStats {
+  uint64_t op_retries = 0;
+  uint64_t lock_fail_retries = 0;
+  uint64_t torn_rereads = 0;
+  uint64_t leaf_splits = 0;
+  uint64_t internal_splits = 0;
+  uint64_t root_splits = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t ops_failed = 0;
+};
+
+struct NodeImage;   // defined in bptree.cpp
+struct PathEntry;
+
+// Per-client handle (not thread-safe; one per worker, like an Endpoint).
+// Keys must be exactly 8 bytes (big-endian encoded u64, see
+// encode_u64_key); values at most kMaxValueBytes.
+class BpTreeIndex final : public KvIndex {
+ public:
+  BpTreeIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+              mem::RemoteAllocator& allocator, const BpTreeRef& ref,
+              bool cache_internal = true);
+
+  bool search(Slice key, std::string* value_out) override;
+  bool insert(Slice key, Slice value) override;
+  bool update(Slice key, Slice value) override;
+  bool remove(Slice key) override;
+  size_t scan(Slice start_key, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  size_t scan_range(
+      Slice low_key, Slice high_key, size_t max_results,
+      std::vector<std::pair<std::string, std::string>>* out) override;
+  const char* name() const override { return "BplusTree"; }
+
+  const BpTreeStats& stats() const { return stats_; }
+
+ private:
+  // Descends to the leaf covering `key`; returns false on persistent
+  // anomalies. Fills the root-to-leaf path (for split propagation).
+  bool descend(uint64_t key, std::vector<PathEntry>* path, bool use_cache);
+
+  // Insert-or-update with `insert_only` / `update_only` semantics.
+  enum class WriteMode { kInsert, kUpsert, kUpdateOnly };
+  bool write_key(uint64_t key, Slice value, WriteMode mode, bool* existed);
+
+  bool split_leaf(std::vector<PathEntry>& path, uint64_t key);
+  // Installs (separator -> right) into the node at `parent_level` covering
+  // the separator, growing the tree with a new root when `left` (the node
+  // that just split) *is* the current root. Never drops a separator: its
+  // siblings are already linked into the tree, and a missing routing entry
+  // at an internal level is unrecoverable (internal nodes have no chain).
+  bool insert_into_parent(uint64_t separator, rdma::GlobalAddr right,
+                          bool right_is_leaf, uint8_t parent_level,
+                          rdma::GlobalAddr left);
+
+  mem::Cluster& cluster_;
+  rdma::Endpoint& endpoint_;
+  mem::RemoteAllocator& allocator_;
+  BpTreeRef ref_;
+  bool cache_internal_;
+  BpTreeStats stats_;
+  uint64_t root_word_cache_ = 0;
+  // Internal-node cache: addr -> serialized node image.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> cache_;
+};
+
+// Internal helper shared with create_bptree (defined in bptree.cpp).
+
+
+}  // namespace sphinx::bptree

@@ -1,0 +1,63 @@
+// Minimal --key=value command-line parsing for benchmark harnesses and
+// examples. Keeps the bench binaries dependency-free and self-documenting.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace sphinx {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unrecognized argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  uint64_t get_u64(const std::string& name, uint64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoull(it->second);
+  }
+
+  double get_double(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  std::string get_string(const std::string& name,
+                         const std::string& def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sphinx

@@ -1,0 +1,153 @@
+#include "common/hash.h"
+
+#include <array>
+#include <cstring>
+
+namespace sphinx {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+constexpr uint64_t kPrime4 = 0x85ebca77c2b2ae63ULL;
+constexpr uint64_t kPrime5 = 0x27d4eb2f165667c5ULL;
+
+inline uint64_t rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t read_u64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t read_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t xxh64_round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t xxh64_merge_round(uint64_t acc, uint64_t val) {
+  val = xxh64_round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+// CRC32C lookup tables for slice-by-8, generated at static-init time.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& crc_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint64_t xxhash64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    const uint8_t* const limit = end - 32;
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = xxh64_round(v1, read_u64(p));
+      v2 = xxh64_round(v2, read_u64(p + 8));
+      v3 = xxh64_round(v3, read_u64(p + 16));
+      v4 = xxh64_round(v4, read_u64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh64_merge_round(h, v1);
+    h = xxh64_merge_round(h, v2);
+    h = xxh64_merge_round(h, v3);
+    h = xxh64_merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= xxh64_round(0, read_u64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(read_u32(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& t = crc_tables().t;
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    uint64_t v = read_u64(p) ^ crc;
+    crc = t[7][v & 0xff] ^ t[6][(v >> 8) & 0xff] ^ t[5][(v >> 16) & 0xff] ^
+          t[4][(v >> 24) & 0xff] ^ t[3][(v >> 32) & 0xff] ^
+          t[2][(v >> 40) & 0xff] ^ t[1][(v >> 48) & 0xff] ^ t[0][v >> 56];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace sphinx

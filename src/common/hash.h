@@ -1,0 +1,57 @@
+// Hash functions used throughout Sphinx: xxHash64 for prefix hashing and
+// hash-table placement, CRC32C for leaf checksums, splitmix64 for key-space
+// scrambling, and fingerprint derivation helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace sphinx {
+
+// 64-bit xxHash (XXH64). Deterministic across platforms.
+uint64_t xxhash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t xxhash64(const Slice& s, uint64_t seed = 0) {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+// CRC32C (Castagnoli), software slice-by-8 implementation. Used to checksum
+// leaf nodes so readers can detect partially-written data (Sec. III-C).
+uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32c(const Slice& s, uint32_t seed = 0) {
+  return crc32c(s.data(), s.size(), seed);
+}
+
+// splitmix64: cheap bijective scrambler; used to generate the u64 dataset
+// (distinct uniform-looking integers from sequential indexes).
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a, kept for secondary/independent hashing (cuckoo alt-bucket mix).
+inline uint64_t fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Derives an n-bit nonzero fingerprint from a 64-bit hash. Fingerprints of
+// zero are reserved as "empty" in filters and hash entries, so the value is
+// remapped to 1 when the truncation would produce 0.
+inline uint16_t fingerprint(uint64_t hash, unsigned bits) {
+  const uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+  uint16_t fp = static_cast<uint16_t>((hash >> 32) & mask);
+  return fp == 0 ? 1 : fp;
+}
+
+}  // namespace sphinx

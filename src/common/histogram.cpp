@@ -1,0 +1,36 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace sphinx {
+
+uint64_t LatencyHistogram::percentile_ns(double p) const {
+  if (total_ == 0) return 0;
+  if (p <= 0) return min_ns();
+  if (p >= 100) return max_ns_;
+  const uint64_t target =
+      static_cast<uint64_t>(static_cast<double>(total_) * p / 100.0);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative > target) {
+      return std::min(bucket_upper_bound(i), max_ns_);
+    }
+  }
+  return max_ns_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus p999=%.2fus "
+                "max=%.2fus",
+                static_cast<unsigned long long>(total_), mean_ns() / 1000.0,
+                static_cast<double>(percentile_ns(50)) / 1000.0,
+                static_cast<double>(percentile_ns(99)) / 1000.0,
+                static_cast<double>(percentile_ns(99.9)) / 1000.0,
+                static_cast<double>(max_ns_) / 1000.0);
+  return std::string(buf);
+}
+
+}  // namespace sphinx

@@ -1,0 +1,89 @@
+// Log-bucketed latency histogram with percentile queries, plus a simple
+// mergeable counter block used by the benchmark runners.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sphinx {
+
+// Latency histogram over nanosecond samples. Buckets are (exponent,
+// quarter-mantissa) pairs giving <= 12.5% relative error per bucket, which
+// is plenty for the p50/p99 reporting the paper's figures need.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 8;   // per power of two
+  static constexpr size_t kExponents = 40;   // up to ~2^40 ns (~18 min)
+  static constexpr size_t kNumBuckets = kExponents * kSubBuckets;
+
+  LatencyHistogram() { reset(); }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ns_ = 0;
+    min_ns_ = UINT64_MAX;
+    max_ns_ = 0;
+  }
+
+  void record(uint64_t ns) {
+    counts_[bucket_for(ns)]++;
+    total_++;
+    sum_ns_ += ns;
+    min_ns_ = std::min(min_ns_, ns);
+    max_ns_ = std::max(max_ns_, ns);
+  }
+
+  // Merges another histogram into this one (used to combine per-worker
+  // histograms after a run).
+  void merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ns_ += other.sum_ns_;
+    min_ns_ = std::min(min_ns_, other.min_ns_);
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+
+  uint64_t count() const { return total_; }
+  uint64_t min_ns() const { return total_ ? min_ns_ : 0; }
+  uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return total_ ? static_cast<double>(sum_ns_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  // Returns an upper-bound estimate for the p-th percentile (p in [0,100]).
+  uint64_t percentile_ns(double p) const;
+
+  // "p50=2.1us p99=8.4us mean=2.9us" style one-liner for logs.
+  std::string summary() const;
+
+ private:
+  static size_t bucket_for(uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<size_t>(ns);
+    const int msb = 63 - __builtin_clzll(ns);
+    const int exp = msb - 2;  // kSubBuckets == 8 == 2^3
+    const size_t sub = (ns >> exp) & (kSubBuckets - 1);
+    size_t idx = static_cast<size_t>(exp + 1) * kSubBuckets + sub;
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  static uint64_t bucket_upper_bound(size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const size_t exp = idx / kSubBuckets - 1;
+    // Values in this bucket satisfy (ns >> exp) == sub, i.e. the range
+    // [sub << exp, (sub + 1) << exp).
+    const size_t sub = idx % kSubBuckets;
+    return ((sub + 1) << exp) - 1;
+  }
+
+  std::array<uint64_t, kNumBuckets> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t min_ns_ = UINT64_MAX;
+  uint64_t max_ns_ = 0;
+};
+
+}  // namespace sphinx

@@ -1,0 +1,46 @@
+// Abstract ordered key-value index interface. Sphinx, SMART and the ART
+// baseline all implement it, so the YCSB runner, examples and benches are
+// system-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace sphinx {
+
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  // Point lookup. Returns false when absent; fills *value_out when found.
+  virtual bool search(Slice key, std::string* value_out) = 0;
+
+  // Inserts a new key. Returns false when the key already exists (no
+  // modification is performed in that case).
+  virtual bool insert(Slice key, Slice value) = 0;
+
+  // Replaces the value of an existing key. Returns false when absent.
+  virtual bool update(Slice key, Slice value) = 0;
+
+  // Deletes a key. Returns false when absent.
+  virtual bool remove(Slice key) = 0;
+
+  // Collects up to `count` key/value pairs with key >= start_key, in
+  // ascending key order. Returns the number collected.
+  virtual size_t scan(Slice start_key, size_t count,
+                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // The paper's Scan(K1, K2): collects all pairs with K1 <= key <= K2 in
+  // ascending order, up to `max_results`. Returns the number collected.
+  virtual size_t scan_range(
+      Slice low_key, Slice high_key, size_t max_results,
+      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace sphinx

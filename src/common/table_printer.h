@@ -1,0 +1,39 @@
+// Aligned plain-text table output for the benchmark harnesses, so every
+// bench prints rows/series in the same shape the paper's tables and figures
+// report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sphinx {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; values are preformatted strings. Row length may be
+  // shorter than the header (trailing cells left blank).
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the table with a header rule, column-aligned.
+  std::string render() const;
+
+  // Renders and writes to stdout.
+  void print() const;
+
+  // Formatting helpers shared by the benches.
+  static std::string fmt_double(double v, int precision = 2);
+  static std::string fmt_mops(double ops_per_sec);      // "3.41 Mops/s"
+  static std::string fmt_bytes(uint64_t bytes);         // "1.2 GiB"
+  static std::string fmt_us(double ns);                 // "2.13 us"
+  static std::string fmt_ratio(double r);               // "2.4x"
+  static std::string fmt_percent(double fraction);      // "3.3%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sphinx

@@ -1,0 +1,33 @@
+#include "core/inht.h"
+
+namespace sphinx::core {
+
+std::vector<race::TableRef> create_inht(mem::Cluster& cluster,
+                                        uint8_t initial_depth) {
+  std::vector<race::TableRef> tables;
+  tables.reserve(cluster.num_mns());
+  for (uint32_t mn = 0; mn < cluster.num_mns(); ++mn) {
+    tables.push_back(race::create_table(cluster, mn, initial_depth));
+  }
+  return tables;
+}
+
+InhtClient::InhtClient(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+                       mem::RemoteAllocator& allocator,
+                       const std::vector<race::TableRef>& tables)
+    : ring_(&cluster.ring()) {
+  // Rehash callback for segment splits: the placement hash of a stored
+  // payload is the pointed-to node's full prefix hash, kept in the node
+  // header's second word -- one 8-byte READ recovers it (mirrors RACE
+  // re-reading KV blocks during splits).
+  race::Rehasher rehasher = [&endpoint](uint64_t payload) {
+    return endpoint.read64(inht_payload_addr(payload).plus(8));
+  };
+  clients_.reserve(tables.size());
+  for (const race::TableRef& table : tables) {
+    clients_.push_back(std::make_unique<race::RaceClient>(
+        cluster, endpoint, allocator, table, rehasher));
+  }
+}
+
+}  // namespace sphinx::core

@@ -1,0 +1,104 @@
+// Inner Node Hash Table (paper Sec. III-A): one RACE-style table per memory
+// node, each holding 8-byte entries for the ART inner nodes placed on that
+// MN. An entry's payload packs the node type (3 bits) with its 48-bit
+// compact address; the key is the 64-bit hash of the node's full prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "art/node_layout.h"
+#include "racehash/race_table.h"
+
+namespace sphinx::core {
+
+// payload (51 bits): node_type:3 | addr48:48
+inline uint64_t pack_inht_payload(art::NodeType type, rdma::GlobalAddr addr) {
+  return (static_cast<uint64_t>(type) << 48) | addr.to48();
+}
+inline art::NodeType inht_payload_type(uint64_t payload) {
+  return static_cast<art::NodeType>((payload >> 48) & 0x7);
+}
+inline rdma::GlobalAddr inht_payload_addr(uint64_t payload) {
+  return rdma::GlobalAddr::from48(payload & ((1ULL << 48) - 1));
+}
+
+// Creates one table per MN; returned refs are shared by all clients.
+std::vector<race::TableRef> create_inht(mem::Cluster& cluster,
+                                        uint8_t initial_depth = 4);
+
+// Per-client handle over all per-MN tables. Routes by the consistent-hash
+// ring, so an inner node's entry always lives on the same MN as the node.
+class InhtClient {
+ public:
+  InhtClient(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+             mem::RemoteAllocator& allocator,
+             const std::vector<race::TableRef>& tables);
+
+  // Single-prefix lookup: one round trip. Appends matching payloads.
+  void search(uint64_t prefix_hash, std::vector<uint64_t>& payloads_out) {
+    client_for(prefix_hash).search(prefix_hash, payloads_out);
+  }
+
+  bool insert(uint64_t prefix_hash, art::NodeType type,
+              rdma::GlobalAddr addr) {
+    return client_for(prefix_hash)
+        .insert(prefix_hash, pack_inht_payload(type, addr));
+  }
+
+  // Entry replacement after a node type switch: a single 8-byte CAS on the
+  // hash entry (Sec. IV, Insert).
+  bool update(uint64_t prefix_hash, art::NodeType old_type,
+              rdma::GlobalAddr old_addr, art::NodeType new_type,
+              rdma::GlobalAddr new_addr) {
+    return client_for(prefix_hash)
+        .update(prefix_hash, pack_inht_payload(old_type, old_addr),
+                pack_inht_payload(new_type, new_addr));
+  }
+
+  bool erase(uint64_t prefix_hash, art::NodeType type,
+             rdma::GlobalAddr addr) {
+    return client_for(prefix_hash)
+        .erase(prefix_hash, pack_inht_payload(type, addr));
+  }
+
+  // For the parallel multi-prefix read (Sec. III-A): resolves the remote
+  // group address so the caller can assemble one doorbell batch across all
+  // prefixes (and MNs), then parse each group with match_group().
+  race::RaceClient::Probe plan_probe(uint64_t prefix_hash) {
+    return client_for(prefix_hash).plan_probe(prefix_hash);
+  }
+
+  race::RaceClient& client_for(uint64_t prefix_hash) {
+    return *clients_[ring_->mn_for(prefix_hash)];
+  }
+
+  // Aggregate CN-side memory held by cached directories (paper: "typically
+  // 2-5% of the succinct filter cache size").
+  uint64_t directory_cache_bytes() const {
+    uint64_t total = 0;
+    for (const auto& c : clients_) total += c->directory_cache_bytes();
+    return total;
+  }
+
+  race::RaceStats aggregated_stats() const {
+    race::RaceStats total;
+    for (const auto& c : clients_) {
+      const race::RaceStats& s = c->stats();
+      total.searches += s.searches;
+      total.inserts += s.inserts;
+      total.insert_retries += s.insert_retries;
+      total.splits += s.splits;
+      total.dir_doublings += s.dir_doublings;
+      total.dir_refreshes += s.dir_refreshes;
+    }
+    return total;
+  }
+
+ private:
+  const mem::ConsistentHashRing* ring_;
+  std::vector<std::unique_ptr<race::RaceClient>> clients_;
+};
+
+}  // namespace sphinx::core

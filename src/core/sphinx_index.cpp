@@ -1,0 +1,107 @@
+#include "core/sphinx_index.h"
+
+namespace sphinx::core {
+
+SphinxRefs create_sphinx(mem::Cluster& cluster, uint8_t inht_initial_depth) {
+  SphinxRefs refs;
+  refs.tree = art::create_tree(cluster);
+  refs.inht = create_inht(cluster, inht_initial_depth);
+  return refs;
+}
+
+SphinxIndex::SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+                         mem::RemoteAllocator& allocator,
+                         const SphinxRefs& refs, filter::CuckooFilter* filter,
+                         const SphinxConfig& config)
+    : RemoteTree(cluster, endpoint, allocator, refs.tree, config.tree),
+      inht_(cluster, endpoint, allocator, refs.inht),
+      filter_(config.use_filter ? filter : nullptr),
+      config_(config) {}
+
+bool SphinxIndex::adopt_candidate(uint32_t len, uint64_t hash,
+                                  const std::vector<uint64_t>& payloads,
+                                  PathEntry* out) {
+  for (uint64_t payload : payloads) {
+    const art::NodeType type = inht_payload_type(payload);
+    const rdma::GlobalAddr addr = inht_payload_addr(payload);
+    // One round trip: fetch the candidate node and verify it against the
+    // hash entry's metadata and the full prefix hash stored in its header.
+    // (The paper uses a 12-bit fp2 plus a 42-bit header hash; the node
+    // header here carries the full 64-bit prefix hash, so surviving
+    // collisions are negligible and the leaf-level common-prefix check in
+    // RemoteTree remains the last line of defense.)
+    if (!RemoteTree::fetch_inner(addr, type, &out->image)) continue;
+    if (out->image.status() == art::NodeStatus::kInvalid) continue;
+    if (out->image.type() != type) continue;
+    if (out->image.depth() != len) continue;
+    if (out->image.prefix_hash_full() != hash) continue;
+    out->addr = addr;
+    out->parent_depth = len;  // empty fragment window: prefix hash-verified
+    out->taken_slot = -1;
+    out->taken_word = 0;
+    return true;
+  }
+  return false;
+}
+
+bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
+  const uint32_t len = key.size();
+  if (len < 2) return false;  // only the root can be an ancestor
+
+  // Hash every proper prefix locally (lengths 1 .. len-1).
+  hash_scratch_.resize(len);
+  for (uint32_t l = 1; l < len; ++l) {
+    hash_scratch_[l] = key.hash_of_prefix(l);
+  }
+  endpoint_.advance_local(config_.prefix_hash_ns * (len - 1));
+
+  if (filter_ != nullptr) {
+    // Longest prefix present in the succinct filter cache -> read exactly
+    // one hash entry (Sec. III-B).
+    for (uint32_t l = len - 1; l >= 1; --l) {
+      endpoint_.advance_local(config_.filter_probe_ns);
+      if (!filter_->contains(hash_scratch_[l])) continue;
+      sstats_.filter_hits++;
+      payload_scratch_.clear();
+      inht_.search(hash_scratch_[l], payload_scratch_);
+      if (adopt_candidate(l, hash_scratch_[l], payload_scratch_, out)) {
+        sstats_.start_successes++;
+        return true;
+      }
+      // False positive (or stale entry): retry with a shorter prefix, as
+      // in the paper's false-positive recovery.
+      sstats_.fp_rejects++;
+    }
+  }
+
+  // Parallel INHT read: the hash entries of all prefixes in one
+  // doorbell-batched round trip (Sec. III-A).
+  sstats_.parallel_fallbacks++;
+  struct GroupBuf {
+    uint64_t words[race::kSlotsPerGroup];
+  };
+  std::vector<GroupBuf> groups(len);
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    for (uint32_t l = 1; l < len; ++l) {
+      const race::RaceClient::Probe probe = inht_.plan_probe(hash_scratch_[l]);
+      batch.add_read(probe.group_addr, groups[l].words, sizeof(GroupBuf));
+    }
+    batch.execute();
+  }
+  for (uint32_t l = len - 1; l >= 1; --l) {
+    payload_scratch_.clear();
+    race::RaceClient::match_group(hash_scratch_[l], groups[l].words,
+                                  payload_scratch_);
+    if (payload_scratch_.empty()) continue;
+    if (adopt_candidate(l, hash_scratch_[l], payload_scratch_, out)) {
+      sstats_.start_successes++;
+      if (filter_ != nullptr) filter_->insert(hash_scratch_[l]);
+      return true;
+    }
+  }
+  sstats_.root_fallbacks++;
+  return false;
+}
+
+}  // namespace sphinx::core

@@ -1,0 +1,121 @@
+// SphinxIndex: the paper's hybrid index. An adaptive radix tree on
+// disaggregated memory whose inner nodes are additionally indexed by the
+// Inner Node Hash Table (Sec. III-A), fronted on each compute node by a
+// Succinct Filter Cache (Sec. III-B).
+//
+// Search path (Sec. IV): hash all prefixes of the key locally, find the
+// longest prefix present in the filter cache, read that prefix's hash
+// entry (1 RTT), read the inner node it points to (1 RTT), then descend --
+// normally straight to the leaf (1 RTT): three round trips end to end.
+// Filter misses fall back to reading the hash entries of *all* prefixes in
+// one doorbell-batched round trip (the Theta(L)-bandwidth base mechanism);
+// hash-table misses fall back to a plain root-to-leaf traversal, which also
+// repopulates the filter via on_visit_inner().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "art/remote_tree.h"
+#include "core/inht.h"
+#include "filter/cuckoo_filter.h"
+
+namespace sphinx::core {
+
+struct SphinxConfig {
+  // Ablation A1: when false the filter cache is skipped entirely and every
+  // operation uses the parallel multi-entry INHT read.
+  bool use_filter = true;
+  // CPU cost model for the CN-local work unique to Sphinx.
+  uint64_t filter_probe_ns = 15;
+  uint64_t prefix_hash_ns = 25;
+  art::TreeConfig tree;
+};
+
+// Shared bootstrap state for one Sphinx instance (tree + per-MN INHT).
+struct SphinxRefs {
+  art::TreeRef tree;
+  std::vector<race::TableRef> inht;
+};
+
+SphinxRefs create_sphinx(mem::Cluster& cluster,
+                         uint8_t inht_initial_depth = 4);
+
+struct SphinxStats {
+  uint64_t filter_hits = 0;        // filter said "present" for some prefix
+  uint64_t fp_rejects = 0;         // filter hit not confirmed by INHT/node
+  uint64_t start_successes = 0;    // descents started below the root
+  uint64_t parallel_fallbacks = 0; // multi-prefix doorbell reads issued
+  uint64_t root_fallbacks = 0;     // find_start gave up -> root traversal
+  uint64_t inht_update_misses = 0; // type-switch entry CAS lost a race
+};
+
+class SphinxIndex final : public art::RemoteTree {
+ public:
+  // `filter` is the CN-wide succinct filter cache shared by every worker of
+  // this compute node; pass nullptr to run INHT-only (equivalent to
+  // use_filter = false).
+  SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+              mem::RemoteAllocator& allocator, const SphinxRefs& refs,
+              filter::CuckooFilter* filter,
+              const SphinxConfig& config = SphinxConfig());
+
+  const char* name() const override { return "Sphinx"; }
+
+  const SphinxStats& sphinx_stats() const { return sstats_; }
+  InhtClient& inht() { return inht_; }
+  filter::CuckooFilter* filter() { return filter_; }
+
+ protected:
+  bool find_start(const art::TerminatedKey& key, PathEntry* out) override;
+
+  void on_visit_inner(const art::TerminatedKey& key,
+                      const PathEntry& entry) override {
+    (void)key;
+    // Track every inner-node prefix we learn about (Sec. IV, Search:
+    // "the client updates the succinct filter cache for any prefixes not
+    // present in the cache").
+    if (filter_ != nullptr && entry.image.depth() > 0) {
+      endpoint_.advance_local(config_.filter_probe_ns);
+      filter_->insert(entry.image.prefix_hash_full());
+    }
+  }
+
+  void on_inner_created(Slice full_prefix, const art::InnerImage& image,
+                        rdma::GlobalAddr addr) override {
+    (void)full_prefix;
+    inht_.insert(image.prefix_hash_full(), image.type(), addr);
+    if (filter_ != nullptr) filter_->insert(image.prefix_hash_full());
+  }
+
+  void on_inner_switched(const art::InnerImage& old_image,
+                         rdma::GlobalAddr old_addr,
+                         const art::InnerImage& new_image,
+                         rdma::GlobalAddr new_addr) override {
+    const uint64_t hash = new_image.prefix_hash_full();
+    if (!inht_.update(hash, old_image.type(), old_addr, new_image.type(),
+                      new_addr)) {
+      // The entry vanished (e.g. its insert lost a race earlier); make the
+      // table eventually consistent by inserting the fresh payload.
+      sstats_.inht_update_misses++;
+      inht_.insert(hash, new_image.type(), new_addr);
+    }
+    // The filter is untouched: the node's full prefix -- the only thing the
+    // filter tracks -- is unchanged by a type switch (Sec. III-B).
+  }
+
+ private:
+  // Validates INHT candidates for prefix length `len` and fills *out with
+  // the first verified node.
+  bool adopt_candidate(uint32_t len, uint64_t hash,
+                       const std::vector<uint64_t>& payloads, PathEntry* out);
+
+  InhtClient inht_;
+  filter::CuckooFilter* filter_;
+  SphinxConfig config_;
+  SphinxStats sstats_;
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<uint64_t> payload_scratch_;
+};
+
+}  // namespace sphinx::core

@@ -1,0 +1,209 @@
+#include "filter/cuckoo_filter.h"
+
+#include <bit>
+
+namespace sphinx::filter {
+
+namespace {
+
+uint64_t round_up_pow2(uint64_t v) {
+  if (v < 2) return 2;
+  return std::bit_ceil(v);
+}
+
+}  // namespace
+
+std::unique_ptr<CuckooFilter> CuckooFilter::with_budget(
+    uint64_t budget_bytes) {
+  const uint64_t slots = budget_bytes / sizeof(uint16_t);
+  uint64_t buckets = slots / kSlotsPerBucket;
+  if (buckets < 2) buckets = 2;
+  // Round *down* to a power of two so the filter never exceeds the budget.
+  const uint64_t up = round_up_pow2(buckets);
+  return std::make_unique<CuckooFilter>(up > buckets ? up / 2 : up);
+}
+
+CuckooFilter::CuckooFilter(uint64_t num_buckets)
+    : num_buckets_(round_up_pow2(num_buckets)),
+      slots_(std::make_unique<std::atomic<uint16_t>[]>(num_buckets_ *
+                                                       kSlotsPerBucket)) {
+  for (uint64_t i = 0; i < num_buckets_ * kSlotsPerBucket; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool CuckooFilter::contains(uint64_t hash) {
+  const uint16_t fp = fp_of(hash);
+  const uint64_t i1 = index1(hash);
+  const uint64_t i2 = alt_index(i1, fp);
+  for (uint64_t idx : {i1, i2}) {
+    std::atomic<uint16_t>* b = bucket(idx);
+    for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+      const uint16_t v = b[s].load(std::memory_order_relaxed);
+      if ((v & kFpMask) == fp) {
+        if ((v & kHotBit) == 0) {
+          b[s].fetch_or(kHotBit, std::memory_order_relaxed);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::contains_cold(uint64_t hash) const {
+  const uint16_t fp = fp_of(hash);
+  const uint64_t i1 = index1(hash);
+  const uint64_t i2 = alt_index(i1, fp);
+  for (uint64_t idx : {i1, i2}) {
+    const std::atomic<uint16_t>* b = bucket(idx);
+    for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+      if ((b[s].load(std::memory_order_relaxed) & kFpMask) == fp) return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::try_insert_empty(uint64_t index, uint16_t fp) {
+  std::atomic<uint16_t>* b = bucket(index);
+  for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+    uint16_t expected = 0;
+    if (b[s].load(std::memory_order_relaxed) == 0 &&
+        b[s].compare_exchange_strong(expected, fp,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::try_second_chance(uint64_t i1, uint64_t i2, uint16_t fp) {
+  // Collect cold candidates across both buckets and replace a random one
+  // (the paper: "randomly selects an entry with the hotness bit set to 0").
+  struct Candidate {
+    std::atomic<uint16_t>* slot;
+    uint16_t value;
+  };
+  Candidate cold[2 * kSlotsPerBucket];
+  uint32_t n = 0;
+  for (uint64_t idx : {i1, i2}) {
+    std::atomic<uint16_t>* b = bucket(idx);
+    for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+      const uint16_t v = b[s].load(std::memory_order_relaxed);
+      if (v != 0 && (v & kHotBit) == 0) cold[n++] = {&b[s], v};
+    }
+  }
+  while (n > 0) {
+    const uint32_t pick =
+        static_cast<uint32_t>(next_random() % n);
+    uint16_t expected = cold[pick].value;
+    if (cold[pick].slot->compare_exchange_strong(expected, fp,
+                                                 std::memory_order_relaxed)) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    cold[pick] = cold[--n];  // slot changed under us; try another
+  }
+  return false;
+}
+
+bool CuckooFilter::relocate_insert(uint64_t start_index, uint16_t fp) {
+  // Classic cuckoo kicking, serialized: this path only triggers when all
+  // eight candidate slots are hot, which is rare in steady state.
+  std::lock_guard<std::mutex> lock(relocate_mu_);
+  constexpr int kMaxKicks = 256;
+  uint64_t index = start_index;
+  uint16_t carried = fp;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    if (try_insert_empty(index, carried)) {
+      relocations_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::atomic<uint16_t>* b = bucket(index);
+    const uint32_t victim_slot =
+        static_cast<uint32_t>(next_random() % kSlotsPerBucket);
+    const uint16_t victim = b[victim_slot].load(std::memory_order_relaxed);
+    if (victim == 0) continue;  // raced with an erase; retry this bucket
+    // Displace the victim; relocated entries lose their hotness (paper:
+    // "hotness bits of all relocated entries are reset to 0").
+    b[victim_slot].store(carried, std::memory_order_relaxed);
+    carried = victim & kFpMask;
+    index = alt_index(index, carried);
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool CuckooFilter::insert(uint64_t hash) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  const uint16_t fp = fp_of(hash);
+  const uint64_t i1 = index1(hash);
+  const uint64_t i2 = alt_index(i1, fp);
+
+  // Already present? (Idempotent inserts keep duplicates from eating
+  // capacity when several workers discover the same prefix.)
+  for (uint64_t idx : {i1, i2}) {
+    std::atomic<uint16_t>* b = bucket(idx);
+    for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+      if ((b[s].load(std::memory_order_relaxed) & kFpMask) == fp) {
+        insert_dupes_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  if (try_insert_empty(i1, fp) || try_insert_empty(i2, fp)) return true;
+  if (try_second_chance(i1, i2, fp)) return true;
+  return relocate_insert(next_random() % 2 ? i1 : i2, fp);
+}
+
+bool CuckooFilter::erase(uint64_t hash) {
+  const uint16_t fp = fp_of(hash);
+  const uint64_t i1 = index1(hash);
+  const uint64_t i2 = alt_index(i1, fp);
+  for (uint64_t idx : {i1, i2}) {
+    std::atomic<uint16_t>* b = bucket(idx);
+    for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+      uint16_t v = b[s].load(std::memory_order_relaxed);
+      while ((v & kFpMask) == fp) {
+        if (b[s].compare_exchange_weak(v, 0, std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+uint64_t CuckooFilter::size() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < num_buckets_ * kSlotsPerBucket; ++i) {
+    if (slots_[i].load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+uint64_t CuckooFilter::next_random() {
+  // splitmix64 over an atomic counter: thread-safe, allocation-free.
+  return splitmix64(rng_state_.fetch_add(1, std::memory_order_relaxed));
+}
+
+CuckooFilterStats CuckooFilter::stats() const {
+  CuckooFilterStats s;
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.insert_dupes = insert_dupes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.relocations = relocations_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CuckooFilter::reset_stats() {
+  inserts_.store(0, std::memory_order_relaxed);
+  insert_dupes_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  relocations_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sphinx::filter

@@ -1,0 +1,109 @@
+// Succinct Filter Cache substrate: a concurrent cuckoo filter (Fan et al.,
+// CoNEXT'14) extended with the paper's hotness-bit second-chance eviction
+// (Sec. III-B):
+//
+//   * each 16-bit slot holds a 12-bit fingerprint plus 1 hotness bit;
+//   * lookups set the hotness bit (entry was recently used);
+//   * when both candidate buckets are full, insertion evicts a random
+//     cold (hot=0) entry; if every entry is hot, classic cuckoo relocation
+//     makes room and clears the hotness of every relocated entry.
+//
+// The filter is shared by all workers of one compute node. Lookups and
+// simple inserts are lock-free; the rare relocation path takes a mutex.
+// Because the filter only *hints* at prefix existence (Sphinx verifies
+// against the remote index and falls back on false positives), occasional
+// racy misses are harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace sphinx::filter {
+
+struct CuckooFilterStats {
+  uint64_t inserts = 0;
+  uint64_t insert_dupes = 0;
+  uint64_t evictions = 0;    // cold-entry second-chance replacements
+  uint64_t relocations = 0;  // cuckoo kick chains
+  uint64_t failures = 0;     // insert dropped (kick chain exhausted)
+};
+
+class CuckooFilter {
+ public:
+  static constexpr uint32_t kSlotsPerBucket = 4;
+  static constexpr uint16_t kFpMask = 0x0fff;   // 12-bit fingerprint
+  static constexpr uint16_t kHotBit = 0x1000;
+
+  // Sizes the filter to approximately `budget_bytes` of slot storage.
+  static std::unique_ptr<CuckooFilter> with_budget(uint64_t budget_bytes);
+
+  // `num_buckets` is rounded up to a power of two.
+  explicit CuckooFilter(uint64_t num_buckets);
+
+  // Membership check; marks the entry hot when found.
+  bool contains(uint64_t hash);
+
+  // Membership check without touching hotness (used by tests/stats).
+  bool contains_cold(uint64_t hash) const;
+
+  // Inserts the item. Always succeeds from the caller's perspective: under
+  // pressure it evicts a cold victim (second chance) or relocates. Returns
+  // false only if the item was silently dropped (exhausted kick chain),
+  // which degrades hit rate but never correctness.
+  bool insert(uint64_t hash);
+
+  // Removes one matching fingerprint if present.
+  bool erase(uint64_t hash);
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t capacity() const { return num_buckets_ * kSlotsPerBucket; }
+  uint64_t memory_bytes() const { return capacity() * sizeof(uint16_t); }
+
+  // Approximate number of live entries.
+  uint64_t size() const;
+
+  CuckooFilterStats stats() const;
+  void reset_stats();
+
+ private:
+  uint16_t fp_of(uint64_t hash) const {
+    uint16_t fp = static_cast<uint16_t>((hash >> 45) & kFpMask);
+    return fp == 0 ? 1 : fp;
+  }
+  uint64_t index1(uint64_t hash) const { return hash & (num_buckets_ - 1); }
+  uint64_t alt_index(uint64_t index, uint16_t fp) const {
+    // Partial-key cuckoo hashing: the alternate bucket is computable from
+    // (index, fp) alone, which is what makes relocation possible without
+    // the original key.
+    return (index ^ (static_cast<uint64_t>(fp) * 0x5bd1e9955bd1e995ULL)) &
+           (num_buckets_ - 1);
+  }
+  std::atomic<uint16_t>* bucket(uint64_t index) {
+    return slots_.get() + index * kSlotsPerBucket;
+  }
+  const std::atomic<uint16_t>* bucket(uint64_t index) const {
+    return slots_.get() + index * kSlotsPerBucket;
+  }
+
+  bool try_insert_empty(uint64_t index, uint16_t fp);
+  bool try_second_chance(uint64_t index1, uint64_t index2, uint16_t fp);
+  bool relocate_insert(uint64_t start_index, uint16_t fp);
+  uint64_t next_random();
+
+  uint64_t num_buckets_;  // power of two
+  std::unique_ptr<std::atomic<uint16_t>[]> slots_;
+  std::mutex relocate_mu_;
+  std::atomic<uint64_t> rng_state_{0x9e3779b97f4a7c15ULL};
+
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> insert_dupes_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> relocations_{0};
+  mutable std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace sphinx::filter

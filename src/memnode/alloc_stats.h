@@ -1,0 +1,95 @@
+// MN-side memory accounting, tagged by structure class so the Fig. 6 bench
+// can break memory usage into inner nodes / leaves / hash table.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sphinx::mem {
+
+enum class AllocTag : uint8_t {
+  kInnerNode = 0,
+  kLeaf = 1,
+  kHashTable = 2,
+  kOther = 3,
+};
+constexpr size_t kNumAllocTags = 4;
+
+inline const char* alloc_tag_name(AllocTag tag) {
+  switch (tag) {
+    case AllocTag::kInnerNode:
+      return "inner-nodes";
+    case AllocTag::kLeaf:
+      return "leaves";
+    case AllocTag::kHashTable:
+      return "hash-table";
+    case AllocTag::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+// Thread-safe global accounting, shared by all clients of a Cluster.
+class AllocStats {
+ public:
+  void add(AllocTag tag, uint64_t requested, uint64_t padded) {
+    auto& e = entries_[static_cast<size_t>(tag)];
+    e.requested.fetch_add(requested, std::memory_order_relaxed);
+    e.padded.fetch_add(padded, std::memory_order_relaxed);
+    e.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void sub(AllocTag tag, uint64_t requested, uint64_t padded) {
+    auto& e = entries_[static_cast<size_t>(tag)];
+    e.requested.fetch_sub(requested, std::memory_order_relaxed);
+    e.padded.fetch_sub(padded, std::memory_order_relaxed);
+    e.count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  uint64_t requested_bytes(AllocTag tag) const {
+    return entries_[static_cast<size_t>(tag)].requested.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t padded_bytes(AllocTag tag) const {
+    return entries_[static_cast<size_t>(tag)].padded.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t count(AllocTag tag) const {
+    return entries_[static_cast<size_t>(tag)].count.load(
+        std::memory_order_relaxed);
+  }
+
+  uint64_t total_requested() const {
+    uint64_t t = 0;
+    for (const auto& e : entries_) {
+      t += e.requested.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+  uint64_t total_padded() const {
+    uint64_t t = 0;
+    for (const auto& e : entries_) {
+      t += e.padded.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  void reset() {
+    for (auto& e : entries_) {
+      e.requested.store(0, std::memory_order_relaxed);
+      e.padded.store(0, std::memory_order_relaxed);
+      e.count.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::atomic<uint64_t> requested{0};
+    std::atomic<uint64_t> padded{0};
+    std::atomic<uint64_t> count{0};
+  };
+  std::array<Entry, kNumAllocTags> entries_;
+};
+
+}  // namespace sphinx::mem

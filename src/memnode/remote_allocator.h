@@ -1,0 +1,111 @@
+// Client-side remote memory allocator over one-sided verbs, in the style of
+// Sherman/SMART: each client leases large chunks from an MN's bump pointer
+// with a single RDMA FAA (rare), then sub-allocates locally from per-MN,
+// per-size-class freelists with zero network traffic.
+//
+// All allocations are 64-byte aligned and padded to a multiple of 64 bytes,
+// matching the paper's 64 B leaf alignment and keeping RDMA-accessed
+// structures word-aligned.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "memnode/cluster.h"
+
+namespace sphinx::mem {
+
+class RemoteAllocator {
+ public:
+  static constexpr uint64_t kAlignment = 64;
+  // Default lease size balances FAA frequency against MN heap headroom:
+  // hundreds of workers each lease chunks from every MN they touch, so
+  // multi-MB chunks would strand most of the heap (192 workers x 4 MiB x
+  // 3 MNs is 2.3 GiB of leases before a single byte is used).
+  static constexpr uint64_t kDefaultChunkBytes = 256ull << 10;  // 256 KiB
+
+  RemoteAllocator(Cluster& cluster, rdma::Endpoint& endpoint,
+                  uint64_t chunk_bytes = kDefaultChunkBytes)
+      : cluster_(cluster),
+        endpoint_(endpoint),
+        chunk_bytes_(chunk_bytes),
+        per_mn_(cluster.num_mns()) {}
+
+  // Allocates `size` bytes on memory node `mn`. Never returns null; throws
+  // std::bad_alloc when the MN heap is exhausted.
+  rdma::GlobalAddr alloc(uint32_t mn, uint64_t size, AllocTag tag) {
+    const uint64_t padded = pad(size);
+    PerMn& state = per_mn_.at(mn);
+    uint64_t offset;
+    auto it = state.freelists.find(padded);
+    if (it != state.freelists.end() && !it->second.empty()) {
+      offset = it->second.back();
+      it->second.pop_back();
+    } else {
+      offset = carve_from_chunk(mn, state, padded);
+    }
+    cluster_.alloc_stats().add(tag, size, padded);
+    return rdma::GlobalAddr(mn, offset);
+  }
+
+  // Returns a block to the client-local freelist. `size` must match the
+  // size passed to alloc().
+  void free(rdma::GlobalAddr addr, uint64_t size, AllocTag tag) {
+    const uint64_t padded = pad(size);
+    per_mn_.at(addr.mn()).freelists[padded].push_back(addr.offset());
+    cluster_.alloc_stats().sub(tag, size, padded);
+  }
+
+  // Total bytes this client has leased from MN bump pointers.
+  uint64_t leased_bytes() const {
+    uint64_t total = 0;
+    for (const auto& s : per_mn_) total += s.leased;
+    return total;
+  }
+
+ private:
+  struct PerMn {
+    uint64_t chunk_cursor = 0;  // next free offset within current chunk
+    uint64_t chunk_end = 0;     // exclusive end of current chunk
+    uint64_t leased = 0;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> freelists;
+  };
+
+  static uint64_t pad(uint64_t size) {
+    if (size == 0) size = 1;
+    return (size + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  uint64_t carve_from_chunk(uint32_t mn, PerMn& state, uint64_t padded) {
+    if (state.chunk_cursor + padded > state.chunk_end) {
+      lease_chunk(mn, state, padded);
+    }
+    const uint64_t offset = state.chunk_cursor;
+    state.chunk_cursor += padded;
+    return offset;
+  }
+
+  void lease_chunk(uint32_t mn, PerMn& state, uint64_t min_bytes) {
+    const uint64_t lease = min_bytes > chunk_bytes_ ? pad(min_bytes)
+                                                    : chunk_bytes_;
+    // One-sided chunk lease: FAA on the MN's bump pointer.
+    const uint64_t start = endpoint_.faa(
+        rdma::GlobalAddr(mn, kBumpPointerOffset), lease);
+    if (start + lease > cluster_.fabric().region(mn).size()) {
+      throw std::bad_alloc();
+    }
+    state.chunk_cursor = start;
+    state.chunk_end = start + lease;
+    state.leased += lease;
+  }
+
+  Cluster& cluster_;
+  rdma::Endpoint& endpoint_;
+  uint64_t chunk_bytes_;
+  std::vector<PerMn> per_mn_;
+};
+
+}  // namespace sphinx::mem

@@ -1,0 +1,45 @@
+// 8-byte hash-table entry format (Fig. 3 of the paper):
+//
+//   [63]     valid bit
+//   [62:51]  12-bit fingerprint (fp2) derived from the key hash
+//   [50:0]   51-bit caller payload (Sphinx packs node type (3b) + addr (48b))
+//
+// An all-zero word is an empty slot, which is why fingerprints are never 0.
+#pragma once
+
+#include <cstdint>
+
+namespace sphinx::race {
+
+constexpr unsigned kFpBits = 12;
+constexpr unsigned kPayloadBits = 51;
+constexpr uint64_t kPayloadMask = (1ULL << kPayloadBits) - 1;
+constexpr uint64_t kFpMask = (1ULL << kFpBits) - 1;
+constexpr uint64_t kValidBit = 1ULL << 63;
+
+// Fingerprint from the top hash bits, remapped away from zero so that an
+// empty slot (all zeroes) can never collide with a stored entry.
+inline uint16_t entry_fp(uint64_t hash) {
+  uint16_t fp = static_cast<uint16_t>((hash >> 52) & kFpMask);
+  return fp == 0 ? 1 : fp;
+}
+
+inline uint64_t make_entry(uint64_t hash, uint64_t payload) {
+  return kValidBit |
+         (static_cast<uint64_t>(entry_fp(hash)) << kPayloadBits) |
+         (payload & kPayloadMask);
+}
+
+inline bool entry_valid(uint64_t entry) { return (entry & kValidBit) != 0; }
+
+inline uint16_t entry_stored_fp(uint64_t entry) {
+  return static_cast<uint16_t>((entry >> kPayloadBits) & kFpMask);
+}
+
+inline uint64_t entry_payload(uint64_t entry) { return entry & kPayloadMask; }
+
+inline bool entry_matches(uint64_t entry, uint64_t hash) {
+  return entry_valid(entry) && entry_stored_fp(entry) == entry_fp(hash);
+}
+
+}  // namespace sphinx::race

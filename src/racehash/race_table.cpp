@@ -1,0 +1,429 @@
+#include "racehash/race_table.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace sphinx::race {
+
+namespace {
+
+// Header word: lock:1 | version:39 | suffix:16 | local_depth:8.
+// The suffix field stores (segment's low hash bits), letting clients detect
+// a stale directory cache deterministically.
+uint64_t pack_header(bool locked, uint64_t version, uint16_t suffix,
+                     uint8_t ld) {
+  return (locked ? 1ULL << 63 : 0) | ((version & ((1ULL << 39) - 1)) << 24) |
+         (static_cast<uint64_t>(suffix) << 8) | ld;
+}
+bool hdr_locked(uint64_t w) { return (w >> 63) != 0; }
+uint64_t hdr_version(uint64_t w) { return (w >> 24) & ((1ULL << 39) - 1); }
+uint16_t hdr_suffix(uint64_t w) {
+  return static_cast<uint16_t>((w >> 8) & 0xffff);
+}
+uint8_t hdr_ld(uint64_t w) { return static_cast<uint8_t>(w & 0xff); }
+
+uint64_t pack_descriptor(uint8_t gd, uint64_t dir_offset) {
+  return (static_cast<uint64_t>(gd) << 48) | (dir_offset & ((1ULL << 48) - 1));
+}
+uint8_t desc_gd(uint64_t d) { return static_cast<uint8_t>(d >> 48); }
+uint64_t desc_offset(uint64_t d) { return d & ((1ULL << 48) - 1); }
+
+uint16_t suffix_of(uint64_t hash, uint8_t ld) {
+  return static_cast<uint16_t>(hash & ((1ULL << ld) - 1));
+}
+
+}  // namespace
+
+TableRef create_table(mem::Cluster& cluster, uint32_t mn,
+                      uint8_t initial_depth) {
+  assert(initial_depth <= kMaxGlobalDepth);
+  rdma::Endpoint loader = cluster.make_loader_endpoint();
+  mem::RemoteAllocator allocator(cluster, loader);
+
+  TableRef ref;
+  ref.mn = mn;
+  ref.descriptor = cluster.reserve_bootstrap_slot(mn);
+  ref.dir_lock = cluster.reserve_bootstrap_slot(mn);
+
+  const uint64_t num_segments = 1ULL << initial_depth;
+  std::vector<uint64_t> dir(num_segments);
+  std::vector<uint8_t> zero_segment(kSegmentBytes, 0);
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    rdma::GlobalAddr seg =
+        allocator.alloc(mn, kSegmentBytes, mem::AllocTag::kHashTable);
+    loader.write(seg, zero_segment.data(), kSegmentBytes);
+    loader.write64(seg, pack_header(false, 0,
+                                    static_cast<uint16_t>(i), initial_depth));
+    dir[i] = seg.offset();
+  }
+
+  rdma::GlobalAddr dir_addr = allocator.alloc(
+      mn, num_segments * 8, mem::AllocTag::kHashTable);
+  loader.write(dir_addr, dir.data(), num_segments * 8);
+  loader.write64(ref.descriptor,
+                 pack_descriptor(initial_depth, dir_addr.offset()));
+  loader.write64(ref.dir_lock, 0);
+  return ref;
+}
+
+RaceClient::RaceClient(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+                       mem::RemoteAllocator& allocator, const TableRef& table,
+                       Rehasher rehasher)
+    : cluster_(cluster),
+      endpoint_(endpoint),
+      allocator_(allocator),
+      table_(table),
+      rehasher_(std::move(rehasher)) {}
+
+void RaceClient::refresh_directory() {
+  const uint64_t desc = endpoint_.read64(table_.descriptor);
+  global_depth_ = desc_gd(desc);
+  const uint64_t n = 1ULL << global_depth_;
+  dir_cache_.resize(n);
+  endpoint_.read(rdma::GlobalAddr(table_.mn, desc_offset(desc)),
+                 dir_cache_.data(), n * 8);
+  stats_.dir_refreshes++;
+}
+
+RaceClient::Probe RaceClient::plan_probe(uint64_t hash) {
+  if (dir_cache_.empty()) refresh_directory();
+  Probe probe;
+  probe.hash = hash;
+  probe.group_addr = group_addr(dir_cache_[dir_index(hash)], hash);
+  return probe;
+}
+
+void RaceClient::match_group(uint64_t hash,
+                             const uint64_t group[kSlotsPerGroup],
+                             std::vector<uint64_t>& payloads_out) {
+  for (uint32_t i = 0; i < kSlotsPerGroup; ++i) {
+    if (entry_matches(group[i], hash)) {
+      payloads_out.push_back(entry_payload(group[i]));
+    }
+  }
+}
+
+void RaceClient::search(uint64_t hash, std::vector<uint64_t>& payloads_out) {
+  stats_.searches++;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (dir_cache_.empty()) refresh_directory();
+    const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+    // Header + group in one doorbell batch: one round trip, two messages.
+    uint64_t header = 0;
+    uint64_t group[kSlotsPerGroup];
+    rdma::DoorbellBatch batch(endpoint_);
+    batch.add_read(rdma::GlobalAddr(table_.mn, seg_offset), &header, 8);
+    batch.add_read(group_addr(seg_offset, hash), group, sizeof(group));
+    batch.execute();
+    const uint8_t ld = hdr_ld(header);
+    if (suffix_of(hash, ld) != hdr_suffix(header)) {
+      refresh_directory();  // stale cache: the segment split/moved
+      continue;
+    }
+    match_group(hash, group, payloads_out);
+    return;
+  }
+}
+
+bool RaceClient::insert(uint64_t hash, uint64_t payload) {
+  stats_.inserts++;
+  const uint64_t entry = make_entry(hash, payload);
+
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    if (dir_cache_.empty()) refresh_directory();
+    const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+    const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+    const rdma::GlobalAddr gaddr = group_addr(seg_offset, hash);
+
+    // Round trip 1: segment header + target group.
+    uint64_t header = 0;
+    uint64_t group[kSlotsPerGroup];
+    {
+      rdma::DoorbellBatch batch(endpoint_);
+      batch.add_read(header_addr, &header, 8);
+      batch.add_read(gaddr, group, sizeof(group));
+      batch.execute();
+    }
+    if (hdr_locked(header)) {
+      stats_.insert_retries++;
+      continue;  // split in progress; retry
+    }
+    if (suffix_of(hash, hdr_ld(header)) != hdr_suffix(header)) {
+      refresh_directory();
+      stats_.insert_retries++;
+      continue;
+    }
+
+    int free_slot = -1;
+    for (uint32_t i = 0; i < kSlotsPerGroup; ++i) {
+      if (group[i] == 0) {
+        free_slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (free_slot < 0) {
+      if (!split_segment(hash)) return false;
+      stats_.insert_retries++;
+      continue;
+    }
+
+    // Round trip 2: CAS the slot, then read the header *after* the CAS in
+    // the same batch. If the version is unchanged from round trip 1, no
+    // split interleaved and the entry is durably placed.
+    uint64_t header_after = 0;
+    rdma::DoorbellBatch batch(endpoint_);
+    const size_t cas_idx = batch.add_cas(
+        gaddr.plus(static_cast<uint64_t>(free_slot) * 8), 0, entry);
+    batch.add_read(header_addr, &header_after, 8);
+    batch.execute();
+    if (!batch.cas_ok(cas_idx)) {
+      stats_.insert_retries++;
+      continue;  // lost the slot to a concurrent insert
+    }
+    if (hdr_version(header_after) == hdr_version(header) &&
+        !hdr_locked(header_after)) {
+      return true;
+    }
+    // A split raced with our CAS; the entry may have been relocated or
+    // dropped. Verify by searching; reinsert if it vanished.
+    std::vector<uint64_t> found;
+    refresh_directory();
+    search(hash, found);
+    for (uint64_t p : found) {
+      if (p == payload) return true;
+    }
+    stats_.insert_retries++;
+  }
+  return false;
+}
+
+bool RaceClient::update(uint64_t hash, uint64_t old_payload,
+                        uint64_t new_payload) {
+  const uint64_t old_entry = make_entry(hash, old_payload);
+  const uint64_t new_entry = make_entry(hash, new_payload);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (dir_cache_.empty()) refresh_directory();
+    const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+    const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+    const rdma::GlobalAddr gaddr = group_addr(seg_offset, hash);
+
+    uint64_t header = 0;
+    uint64_t group[kSlotsPerGroup];
+    {
+      rdma::DoorbellBatch batch(endpoint_);
+      batch.add_read(header_addr, &header, 8);
+      batch.add_read(gaddr, group, sizeof(group));
+      batch.execute();
+    }
+    if (hdr_locked(header)) continue;
+    if (suffix_of(hash, hdr_ld(header)) != hdr_suffix(header)) {
+      refresh_directory();
+      continue;
+    }
+    int slot = -1;
+    for (uint32_t i = 0; i < kSlotsPerGroup; ++i) {
+      if (group[i] == old_entry) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) return false;
+
+    uint64_t header_after = 0;
+    rdma::DoorbellBatch batch(endpoint_);
+    const size_t cas_idx = batch.add_cas(
+        gaddr.plus(static_cast<uint64_t>(slot) * 8), old_entry, new_entry);
+    batch.add_read(header_addr, &header_after, 8);
+    batch.execute();
+    if (!batch.cas_ok(cas_idx)) continue;
+    if (hdr_version(header_after) == hdr_version(header) &&
+        !hdr_locked(header_after)) {
+      return true;
+    }
+    // Raced a split: confirm the new entry survived.
+    std::vector<uint64_t> found;
+    refresh_directory();
+    search(hash, found);
+    for (uint64_t p : found) {
+      if (p == new_payload) return true;
+    }
+  }
+  return false;
+}
+
+bool RaceClient::erase(uint64_t hash, uint64_t payload) {
+  const uint64_t entry = make_entry(hash, payload);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (dir_cache_.empty()) refresh_directory();
+    const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+    const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+    const rdma::GlobalAddr gaddr = group_addr(seg_offset, hash);
+
+    uint64_t header = 0;
+    uint64_t group[kSlotsPerGroup];
+    {
+      rdma::DoorbellBatch batch(endpoint_);
+      batch.add_read(header_addr, &header, 8);
+      batch.add_read(gaddr, group, sizeof(group));
+      batch.execute();
+    }
+    if (hdr_locked(header)) continue;
+    if (suffix_of(hash, hdr_ld(header)) != hdr_suffix(header)) {
+      refresh_directory();
+      continue;
+    }
+    int slot = -1;
+    for (uint32_t i = 0; i < kSlotsPerGroup; ++i) {
+      if (group[i] == entry) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) return false;
+
+    uint64_t header_after = 0;
+    rdma::DoorbellBatch batch(endpoint_);
+    const size_t cas_idx = batch.add_cas(
+        gaddr.plus(static_cast<uint64_t>(slot) * 8), entry, 0);
+    batch.add_read(header_addr, &header_after, 8);
+    batch.execute();
+    if (!batch.cas_ok(cas_idx)) continue;
+    if (hdr_version(header_after) == hdr_version(header) &&
+        !hdr_locked(header_after)) {
+      return true;
+    }
+    // Raced a split: if the entry is gone everywhere, the erase stands
+    // (either our CAS landed before the relocation snapshot, or the
+    // relocation copied it and we must erase again).
+    std::vector<uint64_t> found;
+    refresh_directory();
+    search(hash, found);
+    bool still_there = false;
+    for (uint64_t p : found) {
+      if (p == payload) still_there = true;
+    }
+    if (!still_there) return true;
+  }
+  return false;
+}
+
+bool RaceClient::split_segment(uint64_t hash) {
+  // Serialize splits (and directory doubling) behind the directory lock.
+  // Splits are rare -- amortized once per kGroupsPerSegment*kSlotsPerGroup
+  // inserts -- so coarse serialization costs little.
+  for (int spin = 0; spin < (1 << 20); ++spin) {
+    if (endpoint_.cas(table_.dir_lock, 0, 1)) break;
+    if (spin == (1 << 20) - 1) return false;
+  }
+
+  bool ok = true;
+  refresh_directory();
+  const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+  const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+  uint64_t header = endpoint_.read64(header_addr);
+
+  // Somebody else may have split this segment before we got the lock; if
+  // the group is no longer full the caller's retry will discover it.
+  if (hdr_locked(header)) {
+    endpoint_.write64(table_.dir_lock, 0);
+    return true;
+  }
+  const uint8_t ld = hdr_ld(header);
+  const uint16_t suffix = hdr_suffix(header);
+
+  if (ld >= kMaxGlobalDepth) {
+    endpoint_.write64(table_.dir_lock, 0);
+    return false;  // table at maximum size; group genuinely full
+  }
+
+  // Lock the segment (bump version so racing CAS writers detect us).
+  if (!endpoint_.cas(header_addr, header,
+                     pack_header(true, hdr_version(header) + 1, suffix, ld))) {
+    endpoint_.write64(table_.dir_lock, 0);
+    return true;  // raced; caller retries
+  }
+
+  if (ld == global_depth_) {
+    double_directory();
+  }
+
+  // Snapshot the whole segment.
+  std::vector<uint64_t> image(kSegmentBytes / 8);
+  endpoint_.read(rdma::GlobalAddr(table_.mn, seg_offset), image.data(),
+                 kSegmentBytes);
+
+  const uint8_t new_ld = ld + 1;
+  const uint16_t sibling_suffix =
+      static_cast<uint16_t>(suffix | (1u << ld));
+  std::vector<uint64_t> sibling(kSegmentBytes / 8, 0);
+
+  for (uint64_t w = kSegmentHeaderBytes / 8; w < image.size(); ++w) {
+    const uint64_t entry = image[w];
+    if (!entry_valid(entry)) continue;
+    const uint64_t h = rehasher_(entry_payload(entry));
+    if (((h >> ld) & 1) != 0) {
+      sibling[w] = entry;
+      image[w] = 0;
+    }
+  }
+  image[0] = pack_header(false, hdr_version(header) + 2, suffix, new_ld);
+  sibling[0] = pack_header(false, 0, sibling_suffix, new_ld);
+
+  rdma::GlobalAddr sibling_addr =
+      allocator_.alloc(table_.mn, kSegmentBytes, mem::AllocTag::kHashTable);
+  endpoint_.write(sibling_addr, sibling.data(), kSegmentBytes);
+
+  // Point the directory entries whose suffix selects the sibling at it.
+  const uint64_t desc = endpoint_.read64(table_.descriptor);
+  const uint8_t gd = desc_gd(desc);
+  const uint64_t dir_base = desc_offset(desc);
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    const uint64_t sib_off = sibling_addr.offset();
+    for (uint64_t j = sibling_suffix; j < (1ULL << gd);
+         j += (1ULL << new_ld)) {
+      batch.add_write(rdma::GlobalAddr(table_.mn, dir_base + j * 8), &sib_off,
+                      8);
+    }
+    batch.execute();
+  }
+
+  // Publish the cleaned original segment (also unlocks it).
+  endpoint_.write(rdma::GlobalAddr(table_.mn, seg_offset), image.data(),
+                  kSegmentBytes);
+
+  endpoint_.write64(table_.dir_lock, 0);
+  refresh_directory();
+  stats_.splits++;
+  return ok;
+}
+
+void RaceClient::double_directory() {
+  // Caller holds the directory lock.
+  const uint64_t desc = endpoint_.read64(table_.descriptor);
+  const uint8_t gd = desc_gd(desc);
+  if (gd >= kMaxGlobalDepth) {
+    throw std::runtime_error("race table: directory at maximum depth");
+  }
+  const uint64_t n = 1ULL << gd;
+  std::vector<uint64_t> dir(n);
+  endpoint_.read(rdma::GlobalAddr(table_.mn, desc_offset(desc)), dir.data(),
+                 n * 8);
+  std::vector<uint64_t> doubled(n * 2);
+  for (uint64_t j = 0; j < n * 2; ++j) doubled[j] = dir[j & (n - 1)];
+
+  rdma::GlobalAddr new_dir =
+      allocator_.alloc(table_.mn, n * 2 * 8, mem::AllocTag::kHashTable);
+  endpoint_.write(new_dir, doubled.data(), n * 2 * 8);
+  endpoint_.write64(table_.descriptor,
+                    pack_descriptor(gd + 1, new_dir.offset()));
+  // The old directory array is leaked intentionally: readers may still be
+  // probing through it, and reclaiming it safely would need an epoch
+  // scheme. Directory arrays are tiny (2^gd * 8 B).
+  global_depth_ = gd + 1;
+  dir_cache_ = std::move(doubled);
+  stats_.dir_doublings++;
+}
+
+}  // namespace sphinx::race

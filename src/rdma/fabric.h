@@ -1,0 +1,73 @@
+// The simulated RDMA fabric: memory-node regions plus the shared NIC
+// clocks. Endpoints (one per client/worker) issue one-sided verbs against
+// it; see endpoint.h.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rdma/global_addr.h"
+#include "rdma/memory_region.h"
+#include "rdma/network_config.h"
+#include "rdma/nic_clock.h"
+
+namespace sphinx::rdma {
+
+class Fabric {
+ public:
+  // Creates `config.num_mns` memory regions of `mn_size_bytes` each.
+  Fabric(const NetworkConfig& config, uint64_t mn_size_bytes)
+      : config_(config) {
+    regions_.reserve(config.num_mns);
+    for (uint32_t i = 0; i < config.num_mns; ++i) {
+      regions_.push_back(std::make_unique<MemoryRegion>(mn_size_bytes));
+    }
+    mn_nics_ = std::make_unique<NicClock[]>(config.num_mns);
+    cn_nics_ = std::make_unique<NicClock[]>(config.num_cns);
+  }
+
+  const NetworkConfig& config() const { return config_; }
+  uint32_t num_mns() const { return static_cast<uint32_t>(regions_.size()); }
+
+  MemoryRegion& region(uint32_t mn) {
+    assert(mn < regions_.size());
+    return *regions_[mn];
+  }
+  const MemoryRegion& region(uint32_t mn) const {
+    assert(mn < regions_.size());
+    return *regions_[mn];
+  }
+
+  NicClock& mn_nic(uint32_t mn) {
+    assert(mn < config_.num_mns);
+    return mn_nics_[mn];
+  }
+  NicClock& cn_nic(uint32_t cn) {
+    assert(cn < config_.num_cns);
+    return cn_nics_[cn];
+  }
+
+  // Resets all NIC virtual clocks (between benchmark phases) without
+  // touching memory contents.
+  void reset_clocks() {
+    for (uint32_t i = 0; i < config_.num_mns; ++i) mn_nics_[i].reset();
+    for (uint32_t i = 0; i < config_.num_cns; ++i) cn_nics_[i].reset();
+  }
+
+  // Total MN-side bytes provisioned (for memory-usage reporting).
+  uint64_t total_region_bytes() const {
+    uint64_t total = 0;
+    for (const auto& r : regions_) total += r->size();
+    return total;
+  }
+
+ private:
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+  std::unique_ptr<NicClock[]> mn_nics_;
+  std::unique_ptr<NicClock[]> cn_nics_;
+};
+
+}  // namespace sphinx::rdma

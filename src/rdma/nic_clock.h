@@ -1,0 +1,41 @@
+// A NIC modeled as a serially-reserved resource on a virtual timeline.
+// Each message reserves a service window [start, start+service); start is
+// the later of the client's current virtual time and the NIC's
+// earliest-free time. Under light load start == client time (no queueing);
+// as aggregate message rate approaches 1/msg_ns the reservation pushes
+// start forward, which is exactly NIC saturation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sphinx::rdma {
+
+class NicClock {
+ public:
+  NicClock() : busy_until_(0) {}
+
+  // Reserves `service_ns` of NIC time no earlier than `earliest_ns`.
+  // Returns the start of the reserved window.
+  uint64_t reserve(uint64_t earliest_ns, uint64_t service_ns) {
+    uint64_t cur = busy_until_.load(std::memory_order_relaxed);
+    uint64_t start;
+    do {
+      start = cur > earliest_ns ? cur : earliest_ns;
+    } while (!busy_until_.compare_exchange_weak(cur, start + service_ns,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+    return start;
+  }
+
+  uint64_t busy_until() const {
+    return busy_until_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { busy_until_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> busy_until_;
+};
+
+}  // namespace sphinx::rdma

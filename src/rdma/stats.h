@@ -1,0 +1,63 @@
+// Per-endpoint traffic statistics. Everything the paper's analysis reasons
+// about -- round trips, messages, bytes on the wire -- is counted here so
+// benches can print RTT histograms (E6) and bandwidth figures directly.
+// Per-MN breakdowns feed the NIC capacity model (see runner.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sphinx::rdma {
+
+constexpr uint32_t kMaxMnsTracked = 8;
+
+struct EndpointStats {
+  uint64_t reads = 0;        // READ verbs issued
+  uint64_t writes = 0;       // WRITE verbs issued
+  uint64_t cas = 0;          // CAS verbs issued
+  uint64_t faa = 0;          // FAA verbs issued
+  uint64_t round_trips = 0;  // network round trips (a doorbell batch == 1)
+  uint64_t bytes_read = 0;   // payload bytes fetched from MNs
+  uint64_t bytes_written = 0;
+  uint64_t messages = 0;     // individual verbs on the wire
+  std::array<uint64_t, kMaxMnsTracked> msgs_per_mn{};
+  std::array<uint64_t, kMaxMnsTracked> bytes_per_mn{};
+
+  uint64_t verbs() const { return reads + writes + cas + faa; }
+  uint64_t bytes_total() const { return bytes_read + bytes_written; }
+
+  EndpointStats& operator+=(const EndpointStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    cas += o.cas;
+    faa += o.faa;
+    round_trips += o.round_trips;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    messages += o.messages;
+    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
+      msgs_per_mn[i] += o.msgs_per_mn[i];
+      bytes_per_mn[i] += o.bytes_per_mn[i];
+    }
+    return *this;
+  }
+
+  EndpointStats operator-(const EndpointStats& o) const {
+    EndpointStats r = *this;
+    r.reads -= o.reads;
+    r.writes -= o.writes;
+    r.cas -= o.cas;
+    r.faa -= o.faa;
+    r.round_trips -= o.round_trips;
+    r.bytes_read -= o.bytes_read;
+    r.bytes_written -= o.bytes_written;
+    r.messages -= o.messages;
+    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
+      r.msgs_per_mn[i] -= o.msgs_per_mn[i];
+      r.bytes_per_mn[i] -= o.bytes_per_mn[i];
+    }
+    return r;
+  }
+};
+
+}  // namespace sphinx::rdma

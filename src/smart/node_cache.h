@@ -1,0 +1,140 @@
+// SMART's CN-side node cache: an LRU cache of inner-node images keyed by
+// remote address, bounded by a byte budget (the paper evaluates 20 MB and
+// 200 MB budgets). Shared by all workers of one compute node; sharded to
+// keep lock contention low.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "art/node_image.h"
+
+namespace sphinx::smart {
+
+struct NodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+class NodeCache {
+ public:
+  static constexpr uint32_t kShards = 8;
+
+  // `budget_bytes` caps the summed size of cached node images (the
+  // bookkeeping overhead is excluded, mirroring how cache sizes are
+  // reported in the paper).
+  explicit NodeCache(uint64_t budget_bytes)
+      : shard_budget_(budget_bytes / kShards) {}
+
+  bool get(uint64_t addr, art::InnerImage* out) {
+    Shard& shard = shard_for(addr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(addr);
+    if (it == shard.map.end()) {
+      shard.stats.misses++;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->image;
+    shard.stats.hits++;
+    return true;
+  }
+
+  void put(uint64_t addr, const art::InnerImage& image) {
+    Shard& shard = shard_for(addr);
+    const uint64_t bytes = image.size_bytes();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(addr);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->bytes;
+      it->second->image = image;
+      it->second->bytes = bytes;
+      shard.bytes += bytes;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{addr, image, bytes});
+      shard.map[addr] = shard.lru.begin();
+      shard.bytes += bytes;
+    }
+    while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.map.erase(victim.addr);
+      shard.lru.pop_back();
+      shard.stats.evictions++;
+    }
+  }
+
+  void erase(uint64_t addr) {
+    Shard& shard = shard_for(addr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(addr);
+    if (it == shard.map.end()) return;
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    shard.stats.invalidations++;
+  }
+
+  uint64_t bytes_used() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total += s.bytes;
+    }
+    return total;
+  }
+
+  uint64_t budget_bytes() const { return shard_budget_ * kShards; }
+
+  NodeCacheStats stats() const {
+    NodeCacheStats total;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total.hits += s.stats.hits;
+      total.misses += s.stats.misses;
+      total.evictions += s.stats.evictions;
+      total.invalidations += s.stats.invalidations;
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.lru.clear();
+      s.map.clear();
+      s.bytes = 0;
+    }
+  }
+
+ private:
+  struct Entry {
+    uint64_t addr;
+    art::InnerImage image;
+    uint64_t bytes;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    uint64_t bytes = 0;
+    NodeCacheStats stats;
+  };
+
+  Shard& shard_for(uint64_t addr) {
+    return shards_[(addr >> 6) % kShards];
+  }
+
+  uint64_t shard_budget_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace sphinx::smart

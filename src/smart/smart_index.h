@@ -1,0 +1,85 @@
+// Reimplementation of the SMART baseline (Luo et al., OSDI'23) on our
+// fabric: an ART on disaggregated memory with
+//   * homogeneous inner nodes -- every node is allocated with the Node-256
+//     layout, which removes node type switches but costs the paper's
+//     2.1-3.0x MN-side memory blowup (Fig. 6);
+//   * a CN-side node cache (20 MB or 200 MB in the paper's evaluation)
+//     fronting remote reads, with reverse-check-style invalidation: any
+//     inconsistency observed below a cached node evicts it and re-executes
+//     the traversal against remote memory;
+//   * doorbell-batched scans.
+#pragma once
+
+#include "art/remote_tree.h"
+#include "smart/node_cache.h"
+
+namespace sphinx::smart {
+
+class SmartIndex final : public art::RemoteTree {
+ public:
+  SmartIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
+             mem::RemoteAllocator& allocator, const art::TreeRef& ref,
+             NodeCache& cache, const char* label = "SMART")
+      : RemoteTree(cluster, endpoint, allocator, ref, smart_config()),
+        cache_(cache),
+        label_(label) {}
+
+  const char* name() const override { return label_; }
+
+  NodeCache& cache() { return cache_; }
+
+  static art::TreeConfig smart_config() {
+    art::TreeConfig config;
+    config.batched_scan = true;
+    config.homogeneous_nodes = true;
+    return config;
+  }
+
+ protected:
+  bool fetch_inner(rdma::GlobalAddr addr, art::NodeType type,
+                   art::InnerImage* out) override {
+    if (!bypass_active_ && cache_.get(addr.raw(), out)) {
+      used_cache_ = true;
+      return true;
+    }
+    if (!RemoteTree::fetch_inner(addr, type, out)) return false;
+    // Only cache healthy images; Locked is transient and Invalid nodes are
+    // about to be unreachable.
+    if (out->status() == art::NodeStatus::kIdle) {
+      cache_.put(addr.raw(), *out);
+    }
+    return true;
+  }
+
+  void note_inner_write(rdma::GlobalAddr addr,
+                        const art::InnerImage& image) override {
+    if (image.status() == art::NodeStatus::kIdle) {
+      cache_.put(addr.raw(), image);
+    } else {
+      cache_.erase(addr.raw());
+    }
+  }
+
+  void invalidate_inner(rdma::GlobalAddr addr) override {
+    cache_.erase(addr.raw());
+  }
+
+  void begin_descend() override {
+    used_cache_ = false;
+    bypass_active_ = bypass_pending_;
+    bypass_pending_ = false;
+  }
+
+  bool descent_used_cache() const override { return used_cache_; }
+
+  void set_cache_bypass(bool bypass) override { bypass_pending_ = bypass; }
+
+ private:
+  NodeCache& cache_;
+  const char* label_;
+  bool used_cache_ = false;
+  bool bypass_active_ = false;
+  bool bypass_pending_ = false;
+};
+
+}  // namespace sphinx::smart

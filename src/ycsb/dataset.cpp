@@ -1,0 +1,125 @@
+#include "ycsb/dataset.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/slice.h"
+
+namespace sphinx::ycsb {
+
+std::vector<std::string> generate_u64_keys(uint64_t count, uint64_t seed) {
+  // splitmix64 is a bijection on u64, so seed+index yields `count` distinct
+  // uniform-looking integers with no dedup pass.
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    keys.push_back(encode_u64_key(splitmix64(seed * 0x9e3779b97f4a7c15ULL + i)));
+  }
+  return keys;
+}
+
+namespace {
+
+const char* const kFirstNames[] = {
+    "james", "mary",   "robert", "patricia", "john",   "jennifer", "michael",
+    "linda", "david",  "liz",    "william",  "barb",   "richard",  "susan",
+    "joe",   "jessica", "tom",   "sarah",    "chris",  "karen",    "charles",
+    "lisa",  "daniel", "nancy",  "matt",     "betty",  "anthony",  "peggy",
+    "mark",  "sandra", "donald", "ashley",   "steven", "kim",      "paul",
+    "donna", "andrew", "emily",  "joshua",   "helen",  "ken",      "carol",
+    "kevin", "amanda", "brian",  "dot",      "george", "melissa",  "ed",
+    "deb"};
+
+const char* const kLastNames[] = {
+    "smith",  "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller", "davis",    "lopez",    "wilson",   "anderson", "thomas",
+    "taylor", "moore",    "jackson",  "martin",   "lee",      "perez",
+    "white",  "harris",   "clark",    "lewis",    "robinson", "walker",
+    "young",  "allen",    "king",     "wright",   "scott",    "torres",
+    "nguyen", "hill",     "flores",   "green",    "adams",    "nelson",
+    "baker",  "hall",     "rivera",   "campbell", "li",       "zhang",
+    "wang",   "chen",     "liu",      "yang",     "huang",    "zhao",
+    "wu",     "zhou"};
+
+const char* const kDomains[] = {
+    "gmail.com",  "yahoo.com",   "hotmail.com", "outlook.com", "aol.com",
+    "icloud.com", "qq.com",      "163.com",     "126.com",     "mail.ru",
+    "gmx.de",     "web.de",      "live.com",    "msn.com",     "att.net",
+    "proton.me",  "yandex.ru",   "sina.com",    "sohu.com",    "inbox.com"};
+
+constexpr uint64_t kNumFirst = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+constexpr uint64_t kNumLast = sizeof(kLastNames) / sizeof(kLastNames[0]);
+constexpr uint64_t kNumDomains = sizeof(kDomains) / sizeof(kDomains[0]);
+
+std::string make_email(Rng& rng) {
+  const char* first = kFirstNames[rng.next_below(kNumFirst)];
+  const char* last = kLastNames[rng.next_below(kNumLast)];
+  const char* domain = kDomains[rng.next_below(kNumDomains)];
+  std::string local;
+  switch (rng.next_below(6)) {
+    case 0:
+      local = std::string(first) + "." + last;
+      break;
+    case 1:
+      local = std::string(first) + std::to_string(rng.next_below(10000));
+      break;
+    case 2:
+      local = std::string(1, first[0]) + last;
+      break;
+    case 3:
+      local = std::string(first) + "_" + last +
+              std::to_string(rng.next_below(100));
+      break;
+    case 4:
+      local = std::string(last) + std::to_string(rng.next_below(1000));
+      break;
+    default:
+      local = std::string(first) + last;
+      break;
+  }
+  std::string email = local + "@" + domain;
+  // Clip to the paper's 2..32 byte range (truncation keeps the '@' rare
+  // overflow cases as plain strings; uniqueness is restored by the caller).
+  if (email.size() > 32) email.resize(32);
+  return email;
+}
+
+}  // namespace
+
+std::vector<std::string> generate_email_keys(uint64_t count, uint64_t seed) {
+  Rng rng(seed ^ 0xe4a11ULL);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  std::unordered_set<std::string> seen;
+  seen.reserve(count * 2);
+  uint64_t disambiguator = 0;
+  while (keys.size() < count) {
+    std::string email = make_email(rng);
+    if (!seen.insert(email).second) {
+      // Collision: splice a disambiguating number before the '@'.
+      const size_t at = email.find('@');
+      std::string retry = email.substr(0, at) +
+                          std::to_string(disambiguator++) + email.substr(at);
+      if (retry.size() > 32) {
+        const size_t over = retry.size() - 32;
+        retry = retry.substr(0, at > over ? at - over : 1) +
+                retry.substr(at);  // shrink the local part, keep the domain
+        if (retry.size() > 32) retry.resize(32);
+      }
+      if (!seen.insert(retry).second) continue;
+      email = std::move(retry);
+    }
+    keys.push_back(std::move(email));
+  }
+  return keys;
+}
+
+double mean_key_length(const std::vector<std::string>& keys) {
+  if (keys.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const auto& k : keys) total += k.size();
+  return static_cast<double>(total) / static_cast<double>(keys.size());
+}
+
+}  // namespace sphinx::ycsb

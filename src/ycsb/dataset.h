@@ -1,0 +1,38 @@
+// Key datasets matching the paper's evaluation (Sec. V-A):
+//   * u64   -- 8-byte fixed-length integers from a uniform distribution,
+//              encoded big-endian so byte order == numeric order;
+//   * email -- variable-length email addresses, 2..32 bytes, mean ~18.9
+//              bytes. The paper uses a public email dump; we synthesize
+//              addresses with realistic shared-prefix structure (name/word
+//              local parts over a small domain pool) and matching length
+//              statistics, which is what drives tree depth and traversal
+//              cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sphinx::ycsb {
+
+enum class DatasetKind { kU64, kEmail };
+
+inline const char* dataset_name(DatasetKind kind) {
+  return kind == DatasetKind::kU64 ? "u64" : "email";
+}
+
+// Generates `count` distinct keys, deterministically from `seed`.
+std::vector<std::string> generate_u64_keys(uint64_t count, uint64_t seed = 1);
+std::vector<std::string> generate_email_keys(uint64_t count,
+                                             uint64_t seed = 1);
+
+inline std::vector<std::string> generate_keys(DatasetKind kind, uint64_t count,
+                                              uint64_t seed = 1) {
+  return kind == DatasetKind::kU64 ? generate_u64_keys(count, seed)
+                                   : generate_email_keys(count, seed);
+}
+
+// Mean key length in bytes (for reporting).
+double mean_key_length(const std::vector<std::string>& keys);
+
+}  // namespace sphinx::ycsb

@@ -1,0 +1,197 @@
+#include "ycsb/runner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/dist.h"
+#include "common/rng.h"
+
+namespace sphinx::ycsb {
+
+YcsbRunner::YcsbRunner(mem::Cluster& cluster, IndexFactory factory,
+                       std::vector<std::string> keys)
+    : cluster_(cluster), factory_(std::move(factory)), keys_(std::move(keys)) {}
+
+void YcsbRunner::load(uint64_t count, uint32_t value_size, uint32_t workers) {
+  count = std::min<uint64_t>(count, keys_.size());
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> failures{0};
+  const uint32_t num_cns = cluster_.config().num_cns;
+  for (uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      rdma::Endpoint endpoint(cluster_.fabric(), w % num_cns,
+                              /*metered=*/false);
+      mem::RemoteAllocator allocator(cluster_, endpoint);
+      std::unique_ptr<KvIndex> index =
+          factory_(w, w % num_cns, endpoint, allocator);
+      std::string value(value_size, 'v');
+      const uint64_t lo = count * w / workers;
+      const uint64_t hi = count * (w + 1) / workers;
+      for (uint64_t i = lo; i < hi; ++i) {
+        std::memcpy(value.data(), &i, std::min<size_t>(8, value.size()));
+        if (!index->insert(keys_[i], value)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (hook_) hook_(*index, w);
+    });
+  }
+  for (auto& t : threads) t.join();
+  visible_.store(count, std::memory_order_relaxed);
+  insert_cursor_.store(count, std::memory_order_relaxed);
+  if (failures.load() != 0) {
+    // Duplicate keys in the pool would show up here; the generators
+    // guarantee distinctness, so this indicates a bug.
+    throw std::runtime_error("bulk load: " + std::to_string(failures.load()) +
+                             " inserts failed");
+  }
+}
+
+RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
+  RunResult result;
+  result.workload = spec.name;
+  cluster_.fabric().reset_clocks();
+
+  const uint64_t n0 = visible_.load(std::memory_order_relaxed);
+  const uint32_t num_cns = cluster_.config().num_cns;
+
+  // Request distribution, shared across workers (stateless draws; the
+  // latest-distribution frontier is atomic).
+  std::shared_ptr<IndexDistribution> dist;
+  std::shared_ptr<LatestDistribution> latest;
+  switch (spec.dist) {
+    case RequestDist::kZipfian:
+      dist = std::make_shared<ScrambledZipfianDistribution>(
+          std::max<uint64_t>(n0, 1), spec.zipf_theta);
+      break;
+    case RequestDist::kUniform:
+      dist = std::make_shared<UniformDistribution>(std::max<uint64_t>(n0, 1));
+      break;
+    case RequestDist::kLatest:
+      latest = std::make_shared<LatestDistribution>(std::max<uint64_t>(n0, 1));
+      dist = latest;
+      break;
+  }
+
+  const double p_read = spec.read / spec.total();
+  const double p_update = p_read + spec.update / spec.total();
+  const double p_insert = p_update + spec.insert / spec.total();
+
+  struct WorkerOut {
+    LatencyHistogram latency;
+    rdma::EndpointStats net;
+    uint64_t misses = 0;
+    uint64_t insert_overflow = 0;
+    uint64_t end_clock_ns = 0;
+  };
+  std::vector<WorkerOut> outs(options.workers);
+  std::vector<std::thread> threads;
+
+  for (uint32_t w = 0; w < options.workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerOut& out = outs[w];
+      const uint32_t cn = w % num_cns;
+      rdma::Endpoint endpoint(cluster_.fabric(), cn, /*metered=*/true);
+      mem::RemoteAllocator allocator(cluster_, endpoint);
+      std::unique_ptr<KvIndex> index = factory_(w, cn, endpoint, allocator);
+      Rng rng(options.seed * 7919 + w);
+      std::string value(spec.value_size, 'v');
+      std::string read_buf;
+      std::vector<std::pair<std::string, std::string>> scan_buf;
+
+      for (uint64_t op = 0; op < options.ops_per_worker; ++op) {
+        const uint64_t t0 = endpoint.clock_ns();
+        const double roll = rng.next_double();
+        if (roll < p_read) {
+          const uint64_t idx = dist->next(rng);
+          if (!index->search(keys_[idx], &read_buf)) out.misses++;
+        } else if (roll < p_update) {
+          const uint64_t idx = dist->next(rng);
+          std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+          if (!index->update(keys_[idx], value)) out.misses++;
+        } else if (roll < p_insert) {
+          const uint64_t idx =
+              insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+          if (idx >= keys_.size()) {
+            // Key pool exhausted: degrade to an update so the op mix keeps
+            // its write share (counted so benches can size the pool).
+            out.insert_overflow++;
+            const uint64_t j = dist->next(rng);
+            std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+            index->update(keys_[j], value);
+          } else {
+            std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+            index->insert(keys_[idx], value);
+            visible_.fetch_add(1, std::memory_order_relaxed);
+            if (latest) latest->advance_frontier();
+          }
+        } else {
+          const uint64_t idx = dist->next(rng);
+          const size_t len = 1 + rng.next_below(spec.max_scan_len);
+          index->scan(keys_[idx], len, &scan_buf);
+        }
+        out.latency.record(endpoint.clock_ns() - t0);
+      }
+      out.net = endpoint.stats();
+      out.end_clock_ns = endpoint.clock_ns();
+      if (hook_) hook_(*index, w);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t max_clock = 0;
+  std::vector<uint64_t> cn_msgs(num_cns, 0);
+  for (uint32_t w = 0; w < options.workers; ++w) {
+    const WorkerOut& out = outs[w];
+    result.latency.merge(out.latency);
+    result.net += out.net;
+    result.misses += out.misses;
+    result.insert_overflow += out.insert_overflow;
+    cn_msgs[w % num_cns] += out.net.messages;
+    max_clock = std::max(max_clock, out.end_clock_ns);
+  }
+  result.total_ops = options.ops_per_worker * options.workers;
+
+  // Fluid NIC-capacity model: each NIC supplies one second of service time
+  // per second. If the phase's aggregate demand on the busiest NIC exceeds
+  // what fits into the unloaded makespan, the whole phase stretches by that
+  // utilization factor (queueing delay in the aggregate).
+  const rdma::NetworkConfig& cfg = cluster_.config();
+  const double t_unloaded = static_cast<double>(max_clock);
+  double u_max = 0.0;
+  for (uint32_t mn = 0; mn < cluster_.num_mns() && mn < rdma::kMaxMnsTracked;
+       ++mn) {
+    const double demand =
+        static_cast<double>(result.net.msgs_per_mn[mn]) *
+            static_cast<double>(cfg.mn_msg_ns) +
+        static_cast<double>(result.net.bytes_per_mn[mn]) / cfg.bytes_per_ns;
+    if (t_unloaded > 0) u_max = std::max(u_max, demand / t_unloaded);
+  }
+  for (uint32_t cn = 0; cn < num_cns; ++cn) {
+    const double demand = static_cast<double>(cn_msgs[cn]) *
+                          static_cast<double>(cfg.cn_msg_ns);
+    if (t_unloaded > 0) u_max = std::max(u_max, demand / t_unloaded);
+  }
+  result.nic_utilization = u_max;
+  const double t_eff = t_unloaded * std::max(1.0, u_max);
+
+  result.sim_seconds = t_eff / 1e9;
+  result.ops_per_sec =
+      result.sim_seconds > 0
+          ? static_cast<double>(result.total_ops) / result.sim_seconds
+          : 0;
+  result.mean_latency_ns =
+      result.total_ops > 0
+          ? static_cast<double>(options.workers) * t_eff /
+                static_cast<double>(result.total_ops)
+          : 0;
+  result.rtts_per_op = static_cast<double>(result.net.round_trips) /
+                       static_cast<double>(result.total_ops);
+  result.read_bytes_per_op = static_cast<double>(result.net.bytes_read) /
+                             static_cast<double>(result.total_ops);
+  return result;
+}
+
+}  // namespace sphinx::ycsb

@@ -1,0 +1,101 @@
+// Multi-worker YCSB runner over the simulated DM cluster.
+//
+// Worker model: the paper drives each system with coroutine workers spread
+// over 3 CNs; here every worker is an OS thread owning one Endpoint (its
+// virtual clock plays the coroutine's timeline) and one index client
+// produced by the caller's factory. Shared NIC clocks couple the workers'
+// virtual timelines, so adding workers saturates the fabric exactly like
+// adding coroutines saturates the real NICs.
+//
+// Reported throughput = total ops / max worker virtual time; latency
+// histograms aggregate per-op virtual durations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/kv_index.h"
+#include "memnode/cluster.h"
+#include "memnode/remote_allocator.h"
+#include "rdma/endpoint.h"
+#include "ycsb/workload.h"
+
+namespace sphinx::ycsb {
+
+// Builds a per-worker index client bound to the worker's endpoint and
+// allocator. `cn` identifies the compute node the worker lives on, so the
+// factory can hand out per-CN shared state (filter cache, node cache).
+using IndexFactory = std::function<std::unique_ptr<KvIndex>(
+    uint32_t worker_id, uint32_t cn, rdma::Endpoint& endpoint,
+    mem::RemoteAllocator& allocator)>;
+
+// Called per worker after its ops complete, before the index client is
+// destroyed (e.g. to aggregate system-internal statistics).
+using PerWorkerHook = std::function<void(KvIndex&, uint32_t worker_id)>;
+
+struct RunOptions {
+  uint32_t workers = 6;
+  uint64_t ops_per_worker = 10000;
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::string workload;
+  uint64_t total_ops = 0;
+  uint64_t misses = 0;        // reads/updates of not-yet-visible keys
+  uint64_t insert_overflow = 0;  // insert pool exhausted (fell back to update)
+  // Effective wall time of the phase on the simulated cluster: the longest
+  // worker timeline, stretched by the NIC-capacity model when the phase
+  // demands more NIC service time than the fabric can supply (fluid
+  // queueing approximation -- this is what makes message-hungry systems
+  // saturate first, reproducing the paper's Fig. 5 shape).
+  double sim_seconds = 0;
+  double ops_per_sec = 0;
+  // Busiest-NIC utilization at unloaded pacing; > 1 means saturated.
+  double nic_utilization = 0;
+  // Mean operation latency consistent with the reported throughput
+  // (Little's law over the worker population).
+  double mean_latency_ns = 0;
+  // Per-op latency distribution at unloaded pacing (no queueing applied).
+  LatencyHistogram latency;
+  rdma::EndpointStats net;
+  double rtts_per_op = 0;
+  double read_bytes_per_op = 0;
+};
+
+class YcsbRunner {
+ public:
+  // `keys` is the full key pool: the first `load()`ed prefix becomes the
+  // dataset; the remainder feeds insert operations of workloads D/E/LOAD.
+  YcsbRunner(mem::Cluster& cluster, IndexFactory factory,
+             std::vector<std::string> keys);
+
+  // Bulk-loads keys[0, count) with `workers` parallel unmetered clients.
+  void load(uint64_t count, uint32_t value_size, uint32_t workers = 8);
+
+  // Runs one workload phase. NIC clocks are reset at phase start.
+  RunResult run(const WorkloadSpec& spec, const RunOptions& options);
+
+  void set_per_worker_hook(PerWorkerHook hook) { hook_ = std::move(hook); }
+
+  uint64_t visible_keys() const {
+    return visible_.load(std::memory_order_relaxed);
+  }
+  const std::vector<std::string>& keys() const { return keys_; }
+  mem::Cluster& cluster() { return cluster_; }
+
+ private:
+  mem::Cluster& cluster_;
+  IndexFactory factory_;
+  std::vector<std::string> keys_;
+  PerWorkerHook hook_;
+  std::atomic<uint64_t> visible_{0};
+  std::atomic<uint64_t> insert_cursor_{0};
+};
+
+}  // namespace sphinx::ycsb

@@ -1,0 +1,110 @@
+#include "ycsb/systems.h"
+
+#include "art/art_index.h"
+#include "smart/smart_index.h"
+
+namespace sphinx::ycsb {
+
+const char* system_kind_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kSphinx:
+      return "Sphinx";
+    case SystemKind::kSphinxNoFilter:
+      return "Sphinx-NoSFC";
+    case SystemKind::kSmart:
+      return "SMART";
+    case SystemKind::kSmartC:
+      return "SMART+C";
+    case SystemKind::kArt:
+      return "ART";
+    case SystemKind::kBpTree:
+      return "B+tree";
+  }
+  return "?";
+}
+
+SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
+                         uint64_t cache_budget_bytes)
+    : kind_(kind), cluster_(cluster), name_(system_kind_name(kind)) {
+  const uint32_t num_cns = cluster.config().num_cns;
+  switch (kind) {
+    case SystemKind::kSphinx:
+      sphinx_refs_ = std::make_unique<core::SphinxRefs>(
+          core::create_sphinx(cluster));
+      tree_ref_ = sphinx_refs_->tree;
+      for (uint32_t cn = 0; cn < num_cns; ++cn) {
+        // The directory caches of the INHT clients live beside the filter;
+        // the paper sizes them at 2-5% of the filter budget, so the filter
+        // gets the budget minus that reserve.
+        filters_.push_back(
+            filter::CuckooFilter::with_budget(cache_budget_bytes * 95 / 100));
+      }
+      break;
+    case SystemKind::kSphinxNoFilter:
+      sphinx_refs_ = std::make_unique<core::SphinxRefs>(
+          core::create_sphinx(cluster));
+      tree_ref_ = sphinx_refs_->tree;
+      break;
+    case SystemKind::kSmart:
+    case SystemKind::kSmartC:
+      tree_ref_ = art::create_tree(cluster);
+      for (uint32_t cn = 0; cn < num_cns; ++cn) {
+        caches_.push_back(
+            std::make_unique<smart::NodeCache>(cache_budget_bytes));
+      }
+      break;
+    case SystemKind::kArt:
+      tree_ref_ = art::create_tree(cluster);
+      break;
+    case SystemKind::kBpTree:
+      bptree_ref_ = bptree::create_bptree(cluster);
+      break;
+  }
+}
+
+std::unique_ptr<KvIndex> SystemSetup::make_client(
+    uint32_t cn, rdma::Endpoint& endpoint, mem::RemoteAllocator& allocator) {
+  switch (kind_) {
+    case SystemKind::kSphinx:
+      return std::make_unique<core::SphinxIndex>(
+          cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get());
+    case SystemKind::kSphinxNoFilter: {
+      core::SphinxConfig config;
+      config.use_filter = false;
+      return std::make_unique<core::SphinxIndex>(
+          cluster_, endpoint, allocator, *sphinx_refs_, nullptr, config);
+    }
+    case SystemKind::kSmart:
+    case SystemKind::kSmartC:
+      return std::make_unique<smart::SmartIndex>(
+          cluster_, endpoint, allocator, tree_ref_, *caches_[cn],
+          kind_ == SystemKind::kSmartC ? "SMART+C" : "SMART");
+    case SystemKind::kArt:
+      return std::make_unique<art::ArtIndex>(cluster_, endpoint, allocator,
+                                             tree_ref_);
+    case SystemKind::kBpTree:
+      return std::make_unique<bptree::BpTreeIndex>(cluster_, endpoint,
+                                                   allocator, bptree_ref_);
+  }
+  return nullptr;
+}
+
+IndexFactory SystemSetup::factory() {
+  return [this](uint32_t worker_id, uint32_t cn, rdma::Endpoint& endpoint,
+                mem::RemoteAllocator& allocator) {
+    (void)worker_id;
+    return make_client(cn, endpoint, allocator);
+  };
+}
+
+uint64_t SystemSetup::cn_cache_bytes(uint32_t cn) const {
+  if (cn < filters_.size() && filters_[cn]) {
+    return filters_[cn]->memory_bytes();
+  }
+  if (cn < caches_.size() && caches_[cn]) {
+    return caches_[cn]->bytes_used();
+  }
+  return 0;
+}
+
+}  // namespace sphinx::ycsb

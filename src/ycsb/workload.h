@@ -1,0 +1,67 @@
+// YCSB workload mixes used in the paper's evaluation (Sec. V-A):
+//   A: 50% read / 50% update          (zipfian 0.99)
+//   B: 95% read /  5% update          (zipfian 0.99)
+//   C: 100% read                      (zipfian 0.99)
+//   D: 95% read of latest / 5% insert (latest)
+//   E: 95% scan / 5% insert           (zipfian start key, scan len 1..100)
+//   LOAD: 100% insert
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sphinx::ycsb {
+
+enum class RequestDist { kZipfian, kUniform, kLatest };
+
+struct WorkloadSpec {
+  std::string name;
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double scan = 0;
+  RequestDist dist = RequestDist::kZipfian;
+  double zipf_theta = 0.99;
+  uint32_t max_scan_len = 100;
+  uint32_t value_size = 64;  // paper default: 64-byte values
+
+  double total() const { return read + update + insert + scan; }
+};
+
+inline WorkloadSpec standard_workload(char id) {
+  WorkloadSpec w;
+  switch (id) {
+    case 'A':
+    case 'a':
+      w = {"YCSB-A", 0.50, 0.50, 0.0, 0.0};
+      break;
+    case 'B':
+    case 'b':
+      w = {"YCSB-B", 0.95, 0.05, 0.0, 0.0};
+      break;
+    case 'C':
+    case 'c':
+      w = {"YCSB-C", 1.00, 0.00, 0.0, 0.0};
+      break;
+    case 'D':
+    case 'd':
+      w = {"YCSB-D", 0.95, 0.00, 0.05, 0.0};
+      w.dist = RequestDist::kLatest;
+      break;
+    case 'E':
+    case 'e':
+      w = {"YCSB-E", 0.00, 0.00, 0.05, 0.95};
+      break;
+    case 'L':
+    case 'l':
+      w = {"LOAD", 0.00, 0.00, 1.00, 0.0};
+      break;
+    default:
+      assert(false && "unknown YCSB workload id");
+      w = {"YCSB-C", 1.0, 0.0, 0.0, 0.0};
+  }
+  return w;
+}
+
+}  // namespace sphinx::ycsb

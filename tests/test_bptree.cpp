@@ -1,0 +1,274 @@
+// Tests for the Sherman-style B+ tree baseline: node splits up the tree,
+// leaf-chain scans, fence-guided retries, concurrent clients, and oracle
+// semantics over u64 keys.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "bptree/bptree.h"
+#include "common/rng.h"
+#include "test_util.h"
+#include "ycsb/dataset.h"
+
+namespace sphinx::bptree {
+namespace {
+
+class BpTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = testing::make_test_cluster();
+    ref_ = create_bptree(*cluster_);
+    endpoint_ = std::make_unique<rdma::Endpoint>(cluster_->fabric(), 0, true);
+    allocator_ = std::make_unique<mem::RemoteAllocator>(*cluster_, *endpoint_);
+    index_ = std::make_unique<BpTreeIndex>(*cluster_, *endpoint_, *allocator_,
+                                           ref_);
+  }
+
+  std::string key(uint64_t v) const { return encode_u64_key(v); }
+
+  std::unique_ptr<mem::Cluster> cluster_;
+  BpTreeRef ref_;
+  std::unique_ptr<rdma::Endpoint> endpoint_;
+  std::unique_ptr<mem::RemoteAllocator> allocator_;
+  std::unique_ptr<BpTreeIndex> index_;
+};
+
+TEST_F(BpTreeTest, EmptyTreeBehaves) {
+  std::string v;
+  EXPECT_FALSE(index_->search(key(1), &v));
+  EXPECT_FALSE(index_->remove(key(1)));
+  EXPECT_FALSE(index_->update(key(1), "x"));
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(index_->scan(key(0), 10, &out), 0u);
+}
+
+TEST_F(BpTreeTest, SingleLeafOps) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index_->insert(key(i * 7), "v" + std::to_string(i)));
+  }
+  EXPECT_FALSE(index_->insert(key(7), "dup"));
+  std::string v;
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index_->search(key(i * 7), &v));
+    EXPECT_EQ(v, "v" + std::to_string(i));
+  }
+  EXPECT_FALSE(index_->search(key(1), &v));
+  EXPECT_TRUE(index_->update(key(21), "updated"));
+  ASSERT_TRUE(index_->search(key(21), &v));
+  EXPECT_EQ(v, "updated");
+  EXPECT_TRUE(index_->remove(key(21)));
+  EXPECT_FALSE(index_->search(key(21), &v));
+  EXPECT_EQ(index_->stats().leaf_splits, 0u);
+}
+
+TEST_F(BpTreeTest, LeafAndRootSplits) {
+  // > 12 keys forces a leaf split and a root split (leaf was root).
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index_->insert(key(i), std::to_string(i))) << i;
+  }
+  EXPECT_GT(index_->stats().leaf_splits, 0u);
+  EXPECT_GE(index_->stats().root_splits, 1u);
+  std::string v;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index_->search(key(i), &v)) << i;
+    EXPECT_EQ(v, std::to_string(i));
+  }
+}
+
+TEST_F(BpTreeTest, MultiLevelGrowth) {
+  // 12 * 61 = 732 entries per two-level tree; 20K keys forces three+
+  // levels and internal splits.
+  Rng rng(5);
+  std::set<uint64_t> inserted;
+  while (inserted.size() < 20000) {
+    const uint64_t k = rng.next_u64() >> 1;
+    if (inserted.insert(k).second) {
+      ASSERT_TRUE(index_->insert(key(k), "v"));
+    }
+  }
+  EXPECT_GT(index_->stats().internal_splits, 0u);
+  EXPECT_EQ(index_->stats().ops_failed, 0u);
+  std::string v;
+  uint64_t checked = 0;
+  for (uint64_t k : inserted) {
+    ASSERT_TRUE(index_->search(key(k), &v)) << k;
+    if (++checked >= 5000) break;  // spot check
+  }
+}
+
+TEST_F(BpTreeTest, OracleMixedOps) {
+  std::map<uint64_t, std::string> oracle;
+  Rng rng(77);
+  for (int op = 0; op < 12000; ++op) {
+    const uint64_t k = rng.next_below(3000);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::string v = "v" + std::to_string(op);
+        EXPECT_EQ(index_->insert(key(k), v), oracle.emplace(k, v).second);
+        break;
+      }
+      case 1: {
+        const std::string v = "u" + std::to_string(op);
+        const bool expect = oracle.count(k) > 0;
+        EXPECT_EQ(index_->update(key(k), v), expect);
+        if (expect) oracle[k] = v;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(index_->remove(key(k)), oracle.erase(k) > 0);
+        break;
+      default: {
+        std::string v;
+        const bool expect = oracle.count(k) > 0;
+        ASSERT_EQ(index_->search(key(k), &v), expect) << k;
+        if (expect) {
+          EXPECT_EQ(v, oracle[k]);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index_->stats().ops_failed, 0u);
+}
+
+TEST_F(BpTreeTest, ScanWalksLeafChainInOrder) {
+  std::set<uint64_t> keys;
+  Rng rng(9);
+  while (keys.size() < 2000) keys.insert(rng.next_u64() >> 4);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(index_->insert(key(k), std::to_string(k)));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  const uint64_t mid = *std::next(keys.begin(), 1000);
+  EXPECT_EQ(index_->scan(key(mid), 100, &out), 100u);
+  auto it = keys.find(mid);
+  for (const auto& [k, v] : out) {
+    EXPECT_EQ(decode_u64_key(Slice(k)), *it);
+    ++it;
+  }
+  // Range scan inclusive on both ends.
+  auto lo_it = keys.begin();
+  std::advance(lo_it, 100);
+  auto hi_it = keys.begin();
+  std::advance(hi_it, 150);
+  EXPECT_EQ(index_->scan_range(key(*lo_it), key(*hi_it), 1000, &out), 51u);
+}
+
+TEST_F(BpTreeTest, ScanIsRttCheap) {
+  // Leaf chaining: a 100-entry scan should cost ~(100/12 + depth) reads,
+  // far fewer than one round trip per entry.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(index_->insert(key(i), "v"));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  const uint64_t before = endpoint_->stats().round_trips;
+  EXPECT_EQ(index_->scan(key(1000), 100, &out), 100u);
+  EXPECT_LT(endpoint_->stats().round_trips - before, 25u);
+}
+
+TEST_F(BpTreeTest, InternalCacheCutsRoundTrips) {
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(index_->insert(key(i), "v"));
+  }
+  std::string v;
+  for (uint64_t i = 0; i < 1000; ++i) {  // warm the internal cache
+    ASSERT_TRUE(index_->search(key(i), &v));
+  }
+  const uint64_t before = endpoint_->stats().round_trips;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(index_->search(key(i), &v));
+  }
+  // With internal nodes cached a search is ~1 leaf read.
+  const double rtts =
+      static_cast<double>(endpoint_->stats().round_trips - before) / 1000.0;
+  EXPECT_LT(rtts, 1.6);
+}
+
+TEST_F(BpTreeTest, StaleCacheHealsAfterRemoteSplits) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(index_->insert(key(i * 1000), "v"));
+  }
+  std::string v;
+  ASSERT_TRUE(index_->search(key(0), &v));  // warm cache
+
+  // A second client grows the tree massively.
+  rdma::Endpoint ep2(cluster_->fabric(), 1, true);
+  mem::RemoteAllocator alloc2(*cluster_, ep2);
+  BpTreeIndex peer(*cluster_, ep2, alloc2, ref_);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(peer.insert(key(i * 1000 + 1), "p"));
+  }
+  // The first client's cached routing is stale; fence checks must heal it.
+  for (uint64_t i = 0; i < 5000; i += 97) {
+    ASSERT_TRUE(index_->search(key(i * 1000 + 1), &v)) << i;
+  }
+}
+
+TEST_F(BpTreeTest, ConcurrentInsertersAllLand) {
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 3000;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rdma::Endpoint ep(cluster_->fabric(), t % 3, true);
+      mem::RemoteAllocator alloc(*cluster_, ep);
+      BpTreeIndex idx(*cluster_, ep, alloc, ref_);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t k = static_cast<uint64_t>(t) * 1'000'000 + i;
+        if (!idx.insert(encode_u64_key(k), "v")) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  std::string v;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; i += 13) {
+      const uint64_t k = static_cast<uint64_t>(t) * 1'000'000 + i;
+      ASSERT_TRUE(index_->search(encode_u64_key(k), &v)) << t << ":" << i;
+    }
+  }
+}
+
+TEST_F(BpTreeTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rdma::Endpoint ep(cluster_->fabric(), t % 3, true);
+      mem::RemoteAllocator alloc(*cluster_, ep);
+      BpTreeIndex idx(*cluster_, ep, alloc, ref_);
+      Rng rng(t);
+      const uint64_t base = static_cast<uint64_t>(t) << 32;
+      for (int i = 0; i < 1500; ++i) {
+        const uint64_t k = base + rng.next_below(500);
+        switch (rng.next_below(4)) {
+          case 0:
+            idx.insert(encode_u64_key(k), "v");
+            break;
+          case 1:
+            idx.update(encode_u64_key(k), "u");
+            break;
+          case 2:
+            idx.remove(encode_u64_key(k));
+            break;
+          default: {
+            std::string v;
+            idx.search(encode_u64_key(k), &v);
+            break;
+          }
+        }
+      }
+      if (idx.stats().ops_failed != 0) failures++;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace sphinx::bptree

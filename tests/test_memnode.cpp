@@ -1,0 +1,155 @@
+// Unit tests for the memory-node layer: remote allocator, consistent-hash
+// ring, cluster bootstrap, allocation accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/hash.h"
+#include "memnode/cluster.h"
+#include "memnode/consistent_hash.h"
+#include "memnode/remote_allocator.h"
+#include "test_util.h"
+
+namespace sphinx::mem {
+namespace {
+
+TEST(ConsistentHash, CoversAllMnsEvenly) {
+  ConsistentHashRing ring(3);
+  std::array<uint64_t, 3> counts{};
+  for (uint64_t i = 0; i < 300000; ++i) {
+    counts[ring.mn_for(splitmix64(i))]++;
+  }
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 60000u);  // within ~2x of fair share
+    EXPECT_LT(c, 160000u);
+  }
+}
+
+TEST(ConsistentHash, Deterministic) {
+  ConsistentHashRing a(3), b(3);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.mn_for(splitmix64(i)), b.mn_for(splitmix64(i)));
+  }
+}
+
+TEST(ConsistentHash, SingleMn) {
+  ConsistentHashRing ring(1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.mn_for(splitmix64(i)), 0u);
+  }
+}
+
+TEST(Cluster, BootstrapSlotsDistinct) {
+  auto cluster = testing::make_test_cluster(1 << 20);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    rdma::GlobalAddr a = cluster->reserve_bootstrap_slot(i % 3);
+    EXPECT_TRUE(seen.insert(a.raw()).second);
+    EXPECT_GE(a.offset(), kBootstrapBase);
+    EXPECT_LT(a.offset(), kHeapBase);
+  }
+}
+
+TEST(Allocator, AlignmentAndDistinctness) {
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  std::set<uint64_t> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    rdma::GlobalAddr a = alloc.alloc(0, 1 + (i % 200), AllocTag::kOther);
+    EXPECT_EQ(a.offset() % 64, 0u);
+    EXPECT_GE(a.offset(), kHeapBase);
+    EXPECT_TRUE(addrs.insert(a.raw()).second);
+  }
+}
+
+TEST(Allocator, FreeListReuse) {
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  rdma::GlobalAddr a = alloc.alloc(1, 100, AllocTag::kLeaf);
+  alloc.free(a, 100, AllocTag::kLeaf);
+  rdma::GlobalAddr b = alloc.alloc(1, 100, AllocTag::kLeaf);
+  EXPECT_EQ(a, b);  // same size class comes back from the freelist
+}
+
+TEST(Allocator, LeasesChunksViaFaa) {
+  auto cluster = testing::make_test_cluster(32 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep, /*chunk_bytes=*/1 << 20);
+  EXPECT_EQ(alloc.leased_bytes(), 0u);
+  alloc.alloc(0, 64, AllocTag::kOther);
+  EXPECT_EQ(alloc.leased_bytes(), 1ull << 20);
+  // Filling the chunk triggers another lease.
+  for (int i = 0; i < (1 << 20) / 64; ++i) {
+    alloc.alloc(0, 64, AllocTag::kOther);
+  }
+  EXPECT_EQ(alloc.leased_bytes(), 2ull << 20);
+}
+
+TEST(Allocator, OversizedAllocationGetsOwnChunk) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep, /*chunk_bytes=*/1 << 20);
+  rdma::GlobalAddr a = alloc.alloc(0, 8 << 20, AllocTag::kOther);
+  EXPECT_FALSE(a.is_null());
+  EXPECT_GE(alloc.leased_bytes(), 8ull << 20);
+}
+
+TEST(Allocator, ThrowsWhenMnExhausted) {
+  auto cluster = testing::make_test_cluster(2 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep, /*chunk_bytes=*/1 << 20);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) {
+          alloc.alloc(0, 1 << 20, AllocTag::kOther);
+        }
+      },
+      std::bad_alloc);
+}
+
+TEST(Allocator, ConcurrentClientsGetDisjointChunks) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  constexpr int kThreads = 8;
+  std::array<std::vector<uint64_t>, kThreads> per_thread;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rdma::Endpoint ep(cluster->fabric(), 0, /*metered=*/false);
+      RemoteAllocator alloc(*cluster, ep, 1 << 18);
+      for (int i = 0; i < 2000; ++i) {
+        per_thread[t].push_back(alloc.alloc(2, 128, AllocTag::kOther).raw());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<uint64_t> all;
+  for (const auto& v : per_thread) {
+    for (uint64_t a : v) {
+      EXPECT_TRUE(all.insert(a).second) << "address handed out twice";
+    }
+  }
+}
+
+TEST(AllocStats, TracksByTag) {
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  AllocStats& stats = cluster->alloc_stats();
+  alloc.alloc(0, 100, AllocTag::kLeaf);
+  alloc.alloc(0, 50, AllocTag::kLeaf);
+  alloc.alloc(1, 2000, AllocTag::kInnerNode);
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kLeaf), 150u);
+  EXPECT_EQ(stats.padded_bytes(AllocTag::kLeaf), 128u + 64u);
+  EXPECT_EQ(stats.count(AllocTag::kLeaf), 2u);
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kInnerNode), 2000u);
+  EXPECT_EQ(stats.total_requested(), 2150u);
+  rdma::GlobalAddr a = alloc.alloc(0, 100, AllocTag::kLeaf);
+  alloc.free(a, 100, AllocTag::kLeaf);
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kLeaf), 150u);
+}
+
+}  // namespace
+}  // namespace sphinx::mem

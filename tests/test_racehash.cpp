@@ -1,0 +1,225 @@
+// Unit tests for the one-sided extendible hash table (INHT substrate):
+// lookups, inserts, updates, deletes, segment splits, directory doubling,
+// and concurrent access.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "memnode/remote_allocator.h"
+#include "racehash/race_table.h"
+#include "test_util.h"
+
+namespace sphinx::race {
+namespace {
+
+// A test rig with its own endpoint, allocator and client. The rehasher maps
+// payload -> hash through a shared table the tests maintain (standing in
+// for reading the node header, as Sphinx does).
+struct Rig {
+  explicit Rig(mem::Cluster& cluster, const TableRef& table,
+               std::map<uint64_t, uint64_t>* payload_to_hash = nullptr)
+      : endpoint(cluster.fabric(), 0, /*metered=*/true),
+        allocator(cluster, endpoint),
+        client(cluster, endpoint, allocator, table,
+               [payload_to_hash](uint64_t payload) {
+                 if (payload_to_hash == nullptr) return payload;
+                 return payload_to_hash->at(payload);
+               }) {}
+
+  rdma::Endpoint endpoint;
+  mem::RemoteAllocator allocator;
+  RaceClient client;
+};
+
+TEST(RaceEntry, PackUnpack) {
+  const uint64_t h = splitmix64(77);
+  const uint64_t e = make_entry(h, 0x123456789ab);
+  EXPECT_TRUE(entry_valid(e));
+  EXPECT_TRUE(entry_matches(e, h));
+  EXPECT_EQ(entry_payload(e), 0x123456789abull);
+  EXPECT_EQ(entry_stored_fp(e), entry_fp(h));
+  EXPECT_FALSE(entry_valid(0));
+}
+
+TEST(RaceEntry, FingerprintNeverZero) {
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_NE(entry_fp(i << 52), 0);
+  }
+}
+
+TEST(RaceTable, InsertAndSearch) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  TableRef table = create_table(*cluster, 0);
+  Rig rig(*cluster, table);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rig.client.insert(splitmix64(i), i));
+  }
+  std::vector<uint64_t> found;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    found.clear();
+    rig.client.search(splitmix64(i), found);
+    ASSERT_FALSE(found.empty()) << i;
+    EXPECT_NE(std::find(found.begin(), found.end(), i), found.end());
+  }
+}
+
+TEST(RaceTable, MissReturnsNothingMostly) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  TableRef table = create_table(*cluster, 0);
+  Rig rig(*cluster, table);
+  for (uint64_t i = 0; i < 1000; ++i) rig.client.insert(splitmix64(i), i);
+  uint64_t false_hits = 0;
+  std::vector<uint64_t> found;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    found.clear();
+    rig.client.search(splitmix64(0xbeef0000 + i), found);
+    false_hits += found.size();
+  }
+  // 12-bit fingerprints: collisions must stay well under 1%.
+  EXPECT_LT(false_hits, 100u);
+}
+
+TEST(RaceTable, UpdateReplacesPayload) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  TableRef table = create_table(*cluster, 1);
+  Rig rig(*cluster, table);
+  const uint64_t h = splitmix64(5);
+  ASSERT_TRUE(rig.client.insert(h, 111));
+  ASSERT_TRUE(rig.client.update(h, 111, 222));
+  std::vector<uint64_t> found;
+  rig.client.search(h, found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 222u);
+  EXPECT_FALSE(rig.client.update(h, 111, 333));  // old payload gone
+}
+
+TEST(RaceTable, EraseRemoves) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  TableRef table = create_table(*cluster, 2);
+  Rig rig(*cluster, table);
+  const uint64_t h = splitmix64(9);
+  ASSERT_TRUE(rig.client.insert(h, 42));
+  ASSERT_TRUE(rig.client.erase(h, 42));
+  std::vector<uint64_t> found;
+  rig.client.search(h, found);
+  EXPECT_TRUE(found.empty());
+  EXPECT_FALSE(rig.client.erase(h, 42));
+}
+
+TEST(RaceTable, SearchCostsOneRoundTrip) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  TableRef table = create_table(*cluster, 0);
+  Rig rig(*cluster, table);
+  rig.client.insert(splitmix64(1), 7);
+  const uint64_t before = rig.endpoint.stats().round_trips;
+  std::vector<uint64_t> found;
+  rig.client.search(splitmix64(1), found);
+  EXPECT_EQ(rig.endpoint.stats().round_trips - before, 1u);
+}
+
+TEST(RaceTable, SplitsGrowTheTable) {
+  auto cluster = testing::make_test_cluster(256 << 20);
+  TableRef table = create_table(*cluster, 0, /*initial_depth=*/1);
+  std::map<uint64_t, uint64_t> payload_to_hash;
+  Rig rig(*cluster, table, &payload_to_hash);
+  // Far more than 2 segments hold: forces splits + directory doubling.
+  const uint64_t n = 40000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t h = splitmix64(i);
+    payload_to_hash[i] = h;
+    ASSERT_TRUE(rig.client.insert(h, i)) << i;
+  }
+  EXPECT_GT(rig.client.stats().splits, 0u);
+  std::vector<uint64_t> found;
+  uint64_t missing = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    found.clear();
+    rig.client.search(splitmix64(i), found);
+    if (std::find(found.begin(), found.end(), i) == found.end()) missing++;
+  }
+  EXPECT_EQ(missing, 0u);
+}
+
+TEST(RaceTable, StaleDirectoryCacheRecovers) {
+  auto cluster = testing::make_test_cluster(256 << 20);
+  TableRef table = create_table(*cluster, 0, 1);
+  std::map<uint64_t, uint64_t> payload_to_hash;
+  Rig writer(*cluster, table, &payload_to_hash);
+  Rig reader(*cluster, table, &payload_to_hash);
+
+  // Prime the reader's directory cache, then grow the table via the writer.
+  writer.client.insert(splitmix64(0), 0);
+  payload_to_hash[0] = splitmix64(0);
+  std::vector<uint64_t> found;
+  reader.client.search(splitmix64(0), found);
+
+  for (uint64_t i = 1; i < 30000; ++i) {
+    const uint64_t h = splitmix64(i);
+    payload_to_hash[i] = h;
+    ASSERT_TRUE(writer.client.insert(h, i));
+  }
+  ASSERT_GT(writer.client.stats().splits, 0u);
+
+  // The reader's stale cache must self-heal via the suffix check.
+  uint64_t missing = 0;
+  for (uint64_t i = 0; i < 30000; ++i) {
+    found.clear();
+    reader.client.search(splitmix64(i), found);
+    if (std::find(found.begin(), found.end(), i) == found.end()) missing++;
+  }
+  EXPECT_EQ(missing, 0u);
+  EXPECT_GT(reader.client.stats().dir_refreshes, 1u);
+}
+
+TEST(RaceTable, ConcurrentInsertersAllLand) {
+  auto cluster = testing::make_test_cluster(256 << 20);
+  TableRef table = create_table(*cluster, 0, 2);
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 5000;
+  // payload -> hash is pure arithmetic here so threads need no shared map.
+  auto rehash = [](uint64_t payload) { return splitmix64(payload); };
+
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rdma::Endpoint ep(cluster->fabric(), t % 3, true);
+      mem::RemoteAllocator alloc(*cluster, ep);
+      RaceClient client(*cluster, ep, alloc, table, rehash);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t payload = t * kPerThread + i;
+        if (!client.insert(splitmix64(payload), payload)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  Rig verifier(*cluster, table, nullptr);
+  std::vector<uint64_t> found;
+  uint64_t missing = 0;
+  for (uint64_t p = 0; p < kThreads * kPerThread; ++p) {
+    found.clear();
+    verifier.client.search(splitmix64(p), found);
+    if (std::find(found.begin(), found.end(), p) == found.end()) missing++;
+  }
+  EXPECT_EQ(missing, 0u);
+}
+
+TEST(RaceTable, HashTableMemoryIsAccounted) {
+  auto cluster = testing::make_test_cluster(64 << 20);
+  const uint64_t before =
+      cluster->alloc_stats().requested_bytes(mem::AllocTag::kHashTable);
+  create_table(*cluster, 0, 3);
+  const uint64_t after =
+      cluster->alloc_stats().requested_bytes(mem::AllocTag::kHashTable);
+  EXPECT_GE(after - before, 8u * kSegmentBytes);
+}
+
+}  // namespace
+}  // namespace sphinx::race

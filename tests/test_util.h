@@ -1,0 +1,57 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memnode/cluster.h"
+#include "rdma/network_config.h"
+
+namespace sphinx::testing {
+
+// A small 3-MN cluster suitable for unit tests.
+inline std::unique_ptr<mem::Cluster> make_test_cluster(
+    uint64_t mn_bytes = 256ull << 20) {
+  rdma::NetworkConfig config;
+  config.num_cns = 3;
+  config.num_mns = 3;
+  return std::make_unique<mem::Cluster>(config, mn_bytes);
+}
+
+// Deterministic distinct test keys of mixed length (NUL-free).
+inline std::vector<std::string> mixed_keys(size_t n, uint64_t seed = 7) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Base36 renderings of a scrambled counter, with varied prefixes so the
+    // tree gets real branching and path compression.
+    uint64_t v = seed * 0x9e3779b97f4a7c15ULL + i;
+    v ^= v >> 29;
+    std::string k;
+    switch (i % 4) {
+      case 0:
+        k = "user:";
+        break;
+      case 1:
+        k = "user:profile:";
+        break;
+      case 2:
+        k = "order/";
+        break;
+      default:
+        k = "k";
+        break;
+    }
+    // Fixed-width digits keep every key unique (i embedded verbatim).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%08zx-%04x", i,
+                  static_cast<unsigned>(v & 0xffff));
+    k += buf;
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+}  // namespace sphinx::testing

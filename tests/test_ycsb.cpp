@@ -1,0 +1,212 @@
+// Tests for the YCSB harness: datasets, workload specs, the runner's
+// accounting, and end-to-end integration of all systems under every
+// standard workload.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "ycsb/dataset.h"
+#include "ycsb/runner.h"
+#include "ycsb/systems.h"
+#include "ycsb/workload.h"
+
+namespace sphinx::ycsb {
+namespace {
+
+// ---- datasets ------------------------------------------------------------------
+
+TEST(Dataset, U64KeysDistinctAndFixedLength) {
+  const auto keys = generate_u64_keys(50000, 1);
+  std::set<std::string> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+  for (const auto& k : keys) {
+    ASSERT_EQ(k.size(), 8u);
+  }
+}
+
+TEST(Dataset, U64KeysDeterministicPerSeed) {
+  EXPECT_EQ(generate_u64_keys(100, 5), generate_u64_keys(100, 5));
+  EXPECT_NE(generate_u64_keys(100, 5), generate_u64_keys(100, 6));
+}
+
+TEST(Dataset, EmailKeysMatchPaperStatistics) {
+  const auto keys = generate_email_keys(50000, 1);
+  std::set<std::string> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+  size_t min_len = 1000, max_len = 0;
+  for (const auto& k : keys) {
+    min_len = std::min(min_len, k.size());
+    max_len = std::max(max_len, k.size());
+    ASSERT_EQ(k.find('\0'), std::string::npos);
+  }
+  EXPECT_GE(min_len, 2u);
+  EXPECT_LE(max_len, 32u);
+  // Paper: average 18.93 bytes. Accept a generous band.
+  const double mean = mean_key_length(keys);
+  EXPECT_GT(mean, 15.0);
+  EXPECT_LT(mean, 23.0);
+}
+
+TEST(Dataset, EmailKeysShareDomainSuffixes) {
+  const auto keys = generate_email_keys(1000, 2);
+  size_t with_at = 0;
+  for (const auto& k : keys) {
+    if (k.find('@') != std::string::npos) with_at++;
+  }
+  EXPECT_GT(with_at, 950u);
+}
+
+// ---- workload specs -------------------------------------------------------------
+
+TEST(Workload, StandardMixes) {
+  const WorkloadSpec a = standard_workload('A');
+  EXPECT_DOUBLE_EQ(a.read, 0.5);
+  EXPECT_DOUBLE_EQ(a.update, 0.5);
+  const WorkloadSpec d = standard_workload('D');
+  EXPECT_EQ(d.dist, RequestDist::kLatest);
+  EXPECT_DOUBLE_EQ(d.insert, 0.05);
+  const WorkloadSpec e = standard_workload('E');
+  EXPECT_DOUBLE_EQ(e.scan, 0.95);
+  const WorkloadSpec load = standard_workload('L');
+  EXPECT_DOUBLE_EQ(load.insert, 1.0);
+  for (char id : {'A', 'B', 'C', 'D', 'E', 'L'}) {
+    EXPECT_NEAR(standard_workload(id).total(), 1.0, 1e-9) << id;
+  }
+}
+
+// ---- runner ---------------------------------------------------------------------
+
+TEST(Runner, LoadThenReadBack) {
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(SystemKind::kSphinx, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(5000, 9));
+  runner.load(4000, 64);
+  EXPECT_EQ(runner.visible_keys(), 4000u);
+
+  RunOptions options;
+  options.workers = 6;
+  options.ops_per_worker = 500;
+  const RunResult result = runner.run(standard_workload('C'), options);
+  EXPECT_EQ(result.total_ops, 3000u);
+  EXPECT_EQ(result.misses, 0u);  // all reads hit loaded keys
+  EXPECT_GT(result.ops_per_sec, 0.0);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_GT(result.net.round_trips, 0u);
+  EXPECT_GT(result.latency.count(), 0u);
+  EXPECT_GT(result.rtts_per_op, 1.0);
+}
+
+TEST(Runner, InsertWorkloadGrowsVisibleSet) {
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(SystemKind::kArt, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(20000, 9));
+  runner.load(5000, 64);
+  RunOptions options;
+  options.workers = 3;
+  options.ops_per_worker = 1000;
+  const RunResult result = runner.run(standard_workload('L'), options);
+  EXPECT_EQ(runner.visible_keys(), 8000u);
+  EXPECT_EQ(result.insert_overflow, 0u);
+}
+
+TEST(Runner, WorkloadDMixesInsertsAndLatestReads) {
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(SystemKind::kSphinx, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(20000, 9));
+  runner.load(10000, 64);
+  RunOptions options;
+  options.workers = 6;
+  options.ops_per_worker = 500;
+  const RunResult result = runner.run(standard_workload('D'), options);
+  EXPECT_GT(runner.visible_keys(), 10000u);
+  // Reads may race in-flight inserts, but misses must be rare.
+  EXPECT_LT(static_cast<double>(result.misses),
+            0.02 * static_cast<double>(result.total_ops));
+}
+
+TEST(Runner, ScanWorkloadRuns) {
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(SystemKind::kSmart, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_email_keys(8000, 9));
+  runner.load(6000, 64);
+  RunOptions options;
+  options.workers = 3;
+  options.ops_per_worker = 100;
+  const RunResult result = runner.run(standard_workload('E'), options);
+  EXPECT_EQ(result.total_ops, 300u);
+  // Scans read many leaves: bytes per op should dwarf a point lookup's.
+  EXPECT_GT(result.read_bytes_per_op, 1000.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  auto make_result = [] {
+    auto cluster = testing::make_test_cluster();
+    SystemSetup setup(SystemKind::kArt, *cluster);
+    YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(3000, 4));
+    runner.load(3000, 64, /*workers=*/1);
+    RunOptions options;
+    options.workers = 1;
+    options.ops_per_worker = 500;
+    options.seed = 11;
+    return runner.run(standard_workload('C'), options);
+  };
+  const RunResult a = make_result();
+  const RunResult b = make_result();
+  EXPECT_EQ(a.net.round_trips, b.net.round_trips);
+  EXPECT_EQ(a.net.bytes_read, b.net.bytes_read);
+  EXPECT_DOUBLE_EQ(a.ops_per_sec, b.ops_per_sec);
+}
+
+// ---- end-to-end matrix: every system x every workload ----------------------------
+
+struct MatrixCase {
+  SystemKind kind;
+  char workload;
+};
+
+class SystemWorkloadMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SystemWorkloadMatrix, RunsCleanly) {
+  const MatrixCase param = GetParam();
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(param.kind, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_email_keys(6000, 21));
+  runner.load(3000, 64);
+  RunOptions options;
+  options.workers = 6;
+  options.ops_per_worker = param.workload == 'E' ? 50 : 300;
+  const RunResult result = runner.run(standard_workload(param.workload),
+                                      options);
+  EXPECT_EQ(result.total_ops, options.workers * options.ops_per_worker);
+  EXPECT_GT(result.ops_per_sec, 0.0);
+  // No more than 2% misses under any mix (races on latest reads only).
+  EXPECT_LT(static_cast<double>(result.misses),
+            0.02 * static_cast<double>(result.total_ops) + 1);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string n = system_kind_name(info.param.kind);
+  n.erase(std::remove_if(n.begin(), n.end(),
+                         [](char c) { return !isalnum(c); }),
+          n.end());
+  return n + "_" + std::string(1, info.param.workload);
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (SystemKind kind :
+       {SystemKind::kSphinx, SystemKind::kSphinxNoFilter, SystemKind::kSmart,
+        SystemKind::kSmartC, SystemKind::kArt}) {
+    for (char w : {'A', 'B', 'C', 'D', 'E', 'L'}) {
+      cases.push_back({kind, w});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemWorkloadMatrix,
+                         ::testing::ValuesIn(matrix_cases()), matrix_name);
+
+}  // namespace
+}  // namespace sphinx::ycsb

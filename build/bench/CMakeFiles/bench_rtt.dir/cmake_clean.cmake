@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtt.dir/bench_rtt.cpp.o"
+  "CMakeFiles/bench_rtt.dir/bench_rtt.cpp.o.d"
+  "bench_rtt"
+  "bench_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

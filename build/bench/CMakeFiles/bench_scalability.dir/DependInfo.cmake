@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scalability.cpp" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/sphinx_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sphinx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bptree/CMakeFiles/sphinx_bptree.dir/DependInfo.cmake"
+  "/root/repo/build/src/art/CMakeFiles/sphinx_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/sphinx_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/racehash/CMakeFiles/sphinx_racehash.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/sphinx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphinx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweeps.dir/bench_sweeps.cpp.o"
+  "CMakeFiles/bench_sweeps.dir/bench_sweeps.cpp.o.d"
+  "bench_sweeps"
+  "bench_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ycsb.dir/bench_ycsb.cpp.o"
+  "CMakeFiles/bench_ycsb.dir/bench_ycsb.cpp.o.d"
+  "bench_ycsb"
+  "bench_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_directory.dir/email_directory.cpp.o"
+  "CMakeFiles/email_directory.dir/email_directory.cpp.o.d"
+  "email_directory"
+  "email_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_index.dir/order_index.cpp.o"
+  "CMakeFiles/order_index.dir/order_index.cpp.o.d"
+  "order_index"
+  "order_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

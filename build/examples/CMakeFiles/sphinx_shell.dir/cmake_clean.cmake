@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_shell.dir/sphinx_shell.cpp.o"
+  "CMakeFiles/sphinx_shell.dir/sphinx_shell.cpp.o.d"
+  "sphinx_shell"
+  "sphinx_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/art/node_image.cpp" "src/art/CMakeFiles/sphinx_art.dir/node_image.cpp.o" "gcc" "src/art/CMakeFiles/sphinx_art.dir/node_image.cpp.o.d"
+  "/root/repo/src/art/remote_tree.cpp" "src/art/CMakeFiles/sphinx_art.dir/remote_tree.cpp.o" "gcc" "src/art/CMakeFiles/sphinx_art.dir/remote_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/sphinx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphinx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

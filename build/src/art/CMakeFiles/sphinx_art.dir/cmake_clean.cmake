@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_art.dir/node_image.cpp.o"
+  "CMakeFiles/sphinx_art.dir/node_image.cpp.o.d"
+  "CMakeFiles/sphinx_art.dir/remote_tree.cpp.o"
+  "CMakeFiles/sphinx_art.dir/remote_tree.cpp.o.d"
+  "libsphinx_art.a"
+  "libsphinx_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsphinx_art.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_bptree.dir/bptree.cpp.o"
+  "CMakeFiles/sphinx_bptree.dir/bptree.cpp.o.d"
+  "libsphinx_bptree.a"
+  "libsphinx_bptree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_bptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

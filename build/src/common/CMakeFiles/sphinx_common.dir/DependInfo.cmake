@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/dist.cpp" "src/common/CMakeFiles/sphinx_common.dir/dist.cpp.o" "gcc" "src/common/CMakeFiles/sphinx_common.dir/dist.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/sphinx_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/sphinx_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/sphinx_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/sphinx_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/common/CMakeFiles/sphinx_common.dir/table_printer.cpp.o" "gcc" "src/common/CMakeFiles/sphinx_common.dir/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_common.dir/dist.cpp.o"
+  "CMakeFiles/sphinx_common.dir/dist.cpp.o.d"
+  "CMakeFiles/sphinx_common.dir/hash.cpp.o"
+  "CMakeFiles/sphinx_common.dir/hash.cpp.o.d"
+  "CMakeFiles/sphinx_common.dir/histogram.cpp.o"
+  "CMakeFiles/sphinx_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/sphinx_common.dir/table_printer.cpp.o"
+  "CMakeFiles/sphinx_common.dir/table_printer.cpp.o.d"
+  "libsphinx_common.a"
+  "libsphinx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

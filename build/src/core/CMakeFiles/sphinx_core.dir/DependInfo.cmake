@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/inht.cpp" "src/core/CMakeFiles/sphinx_core.dir/inht.cpp.o" "gcc" "src/core/CMakeFiles/sphinx_core.dir/inht.cpp.o.d"
+  "/root/repo/src/core/sphinx_index.cpp" "src/core/CMakeFiles/sphinx_core.dir/sphinx_index.cpp.o" "gcc" "src/core/CMakeFiles/sphinx_core.dir/sphinx_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/art/CMakeFiles/sphinx_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/racehash/CMakeFiles/sphinx_racehash.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/sphinx_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/sphinx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphinx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_core.dir/inht.cpp.o"
+  "CMakeFiles/sphinx_core.dir/inht.cpp.o.d"
+  "CMakeFiles/sphinx_core.dir/sphinx_index.cpp.o"
+  "CMakeFiles/sphinx_core.dir/sphinx_index.cpp.o.d"
+  "libsphinx_core.a"
+  "libsphinx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_filter.dir/cuckoo_filter.cpp.o"
+  "CMakeFiles/sphinx_filter.dir/cuckoo_filter.cpp.o.d"
+  "libsphinx_filter.a"
+  "libsphinx_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_racehash.dir/race_table.cpp.o"
+  "CMakeFiles/sphinx_racehash.dir/race_table.cpp.o.d"
+  "libsphinx_racehash.a"
+  "libsphinx_racehash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_racehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

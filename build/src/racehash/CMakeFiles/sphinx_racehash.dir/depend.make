@@ -1,0 +1,2 @@
+# Empty dependencies file for sphinx_racehash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_rdma.dir/endpoint.cpp.o"
+  "CMakeFiles/sphinx_rdma.dir/endpoint.cpp.o.d"
+  "libsphinx_rdma.a"
+  "libsphinx_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sphinx_rdma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_ycsb.dir/dataset.cpp.o"
+  "CMakeFiles/sphinx_ycsb.dir/dataset.cpp.o.d"
+  "CMakeFiles/sphinx_ycsb.dir/runner.cpp.o"
+  "CMakeFiles/sphinx_ycsb.dir/runner.cpp.o.d"
+  "CMakeFiles/sphinx_ycsb.dir/systems.cpp.o"
+  "CMakeFiles/sphinx_ycsb.dir/systems.cpp.o.d"
+  "libsphinx_ycsb.a"
+  "libsphinx_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

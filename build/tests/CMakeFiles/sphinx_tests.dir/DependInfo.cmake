@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_art.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_art.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_art.cpp.o.d"
+  "/root/repo/tests/test_bptree.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_bptree.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_bptree.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_memnode.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_memnode.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_memnode.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_racehash.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_racehash.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_racehash.cpp.o.d"
+  "/root/repo/tests/test_rdma.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_rdma.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_rdma.cpp.o.d"
+  "/root/repo/tests/test_smart.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_smart.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_smart.cpp.o.d"
+  "/root/repo/tests/test_sphinx.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_sphinx.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_sphinx.cpp.o.d"
+  "/root/repo/tests/test_ycsb.cpp" "tests/CMakeFiles/sphinx_tests.dir/test_ycsb.cpp.o" "gcc" "tests/CMakeFiles/sphinx_tests.dir/test_ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/sphinx_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bptree/CMakeFiles/sphinx_bptree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sphinx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/art/CMakeFiles/sphinx_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/sphinx_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/racehash/CMakeFiles/sphinx_racehash.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/sphinx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphinx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_tests.dir/test_art.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_art.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_bptree.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_bptree.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_common.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_concurrency.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_concurrency.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_filter.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_filter.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_memnode.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_memnode.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_racehash.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_racehash.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_rdma.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_rdma.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_smart.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_smart.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_sphinx.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_sphinx.cpp.o.d"
+  "CMakeFiles/sphinx_tests.dir/test_ycsb.cpp.o"
+  "CMakeFiles/sphinx_tests.dir/test_ycsb.cpp.o.d"
+  "sphinx_tests"
+  "sphinx_tests.pdb"
+  "sphinx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,6 +10,7 @@
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "memnode/cluster.h"
+#include "rdma/fault_injector.h"
 #include "rdma/network_config.h"
 #include "ycsb/dataset.h"
 #include "ycsb/runner.h"
@@ -49,6 +50,40 @@ inline ycsb::SystemKind parse_system(const std::string& name) {
 inline std::vector<ycsb::SystemKind> paper_systems() {
   return {ycsb::SystemKind::kSphinx, ycsb::SystemKind::kSmart,
           ycsb::SystemKind::kSmartC, ycsb::SystemKind::kArt};
+}
+
+// Standard background fault schedule for `--faults=<rate>` bench runs:
+// `rate` scales the per-verb probability of a congestion delay, with
+// proportionally rarer stalls and CAS race losses (tagged sites only).
+// Deterministic under `seed`; see rdma/fault_injector.h and
+// EXPERIMENTS.md ("Fault injection & stress testing").
+inline std::unique_ptr<rdma::FaultInjector> make_fault_injector(double rate,
+                                                                uint64_t seed) {
+  auto injector = std::make_unique<rdma::FaultInjector>(seed);
+  rdma::FaultRule delay;
+  delay.kind = rdma::FaultKind::kDelay;
+  delay.probability = rate;
+  delay.delay_ns = 400;
+  injector->add_rule(delay);
+  rdma::FaultRule stall;
+  stall.kind = rdma::FaultKind::kStall;
+  stall.probability = rate / 5.0;
+  stall.delay_ns = 2000;
+  injector->add_rule(stall);
+  rdma::FaultRule casfail;
+  casfail.kind = rdma::FaultKind::kCasFail;
+  casfail.probability = rate / 2.0;
+  casfail.site = rdma::FaultSite::kAny;
+  injector->add_rule(casfail);
+  return injector;
+}
+
+inline std::string fault_summary(const rdma::FaultStats& stats) {
+  return "faults: " + std::to_string(stats.delays) + " delays, " +
+         std::to_string(stats.stalls) + " stalls, " +
+         std::to_string(stats.cas_failures) + " cas-losses, " +
+         std::to_string(stats.offline_rejects) + " offline-rejects (" +
+         std::to_string(stats.verbs_inspected) + " verbs inspected)";
 }
 
 // CN cache budget for `kind`, scaled from the paper's 20 MB / 200 MB @60M

@@ -9,6 +9,13 @@
 // Usage:
 //   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
+//              [--faults=0.02] [--fault-seed=42]
+//
+// --faults=<rate> installs the standard background fault schedule
+// (rdma/fault_injector.h) on the fabric for the measured phases: per-verb
+// congestion delays with probability <rate>, plus proportionally rarer
+// stalls and CAS race losses. Load and warmup stay fault-free. Per-fault
+// counters are reported per system; --fault-seed makes a run replayable.
 #include <iostream>
 
 #include "bench_common.h"
@@ -24,10 +31,17 @@ int run(int argc, char** argv) {
   const std::string datasets = flags.get_string("datasets", "u64,email");
   const std::string workloads = flags.get_string("workloads", "ABCDEL");
   const bool warmup = flags.get_bool("warmup", true);
+  const double fault_rate = flags.get_double("faults", 0.0);
+  const uint64_t fault_seed = flags.get_u64("fault-seed", 42);
 
   std::cout << "# Fig. 4 -- YCSB throughput, " << num_keys
             << " loaded keys, " << workers << " workers x " << ops_per_worker
-            << " ops, zipfian 0.99, 64 B values\n\n";
+            << " ops, zipfian 0.99, 64 B values\n";
+  if (fault_rate > 0.0) {
+    std::cout << "# fault injection on: rate=" << fault_rate
+              << " seed=" << fault_seed << "\n";
+  }
+  std::cout << "\n";
 
   for (const ycsb::DatasetKind dataset :
        {ycsb::DatasetKind::kU64, ycsb::DatasetKind::kEmail}) {
@@ -61,6 +75,14 @@ int run(int argc, char** argv) {
         runner.run(ycsb::standard_workload('C'), warm);
       }
 
+      // Faults perturb only the measured phases; loading and warmup ran
+      // clean so every system starts from an identical healthy state.
+      std::unique_ptr<rdma::FaultInjector> injector;
+      if (fault_rate > 0.0) {
+        injector = make_fault_injector(fault_rate, fault_seed);
+        cluster->fabric().set_fault_injector(injector.get());
+      }
+
       int row = 0;
       for (char w : workloads) {
         ycsb::RunOptions options;
@@ -77,6 +99,10 @@ int run(int argc, char** argv) {
                   << TablePrinter::fmt_double(result.rtts_per_op) << " rtt/op, "
                   << result.latency.summary() << ")\n";
         row++;
+      }
+      if (injector) {
+        std::cerr << "  " << fault_summary(injector->stats()) << "\n";
+        cluster->fabric().set_fault_injector(nullptr);
       }
       sys_col++;
     }

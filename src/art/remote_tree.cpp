@@ -299,7 +299,8 @@ bool RemoteTree::lock_node(rdma::GlobalAddr addr, uint64_t seen_header,
                            InnerImage* fresh) {
   if (header_status(seen_header) != NodeStatus::kIdle) return false;
   const uint64_t locked = with_status(seen_header, NodeStatus::kLocked);
-  if (!endpoint_.cas(addr, seen_header, locked)) {
+  if (!endpoint_.cas(addr, seen_header, locked, nullptr,
+                     rdma::FaultSite::kLockAcquire)) {
     stats_.lock_fail_retries++;
     invalidate_inner(addr);
     return false;
@@ -326,7 +327,8 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
   const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-  const size_t lock_idx = pre.add_cas(node.addr, seen, locked);
+  const size_t lock_idx =
+      pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
   if (!pre.cas_ok(lock_idx)) {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
@@ -348,7 +350,7 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
     const size_t slot_idx = batch.add_cas(
         node.addr.plus(kInnerHeaderBytes +
                        static_cast<uint64_t>(free_idx) * 8),
-        0, slot_word);
+        0, slot_word, rdma::FaultSite::kSlotInstall);
     batch.add_cas(node.addr, locked, seen);  // piggybacked lock release
     batch.execute();
     ok = batch.cas_ok(slot_idx);
@@ -414,7 +416,8 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   }
   pre.add_write(m_addr, m.raw(), m_bytes);
   const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-  const size_t lock_idx = pre.add_cas(parent.addr, seen, locked);
+  const size_t lock_idx =
+      pre.add_cas(parent.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
 
   auto release_allocs = [&] {
@@ -445,7 +448,7 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   const uint64_t m_slot = pack_inner_slot(parent_branch, mtype, m_addr);
   const size_t cas_idx = batch.add_cas(
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-      child_word, m_slot);
+      child_word, m_slot, rdma::FaultSite::kSlotInstall);
   batch.add_cas(parent.addr, locked, seen);
   batch.execute();
   if (!batch.cas_ok(cas_idx)) {
@@ -472,7 +475,8 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
   const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-  const size_t lock_idx = pre.add_cas(node.addr, seen, locked);
+  const size_t lock_idx =
+      pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
   if (!pre.cas_ok(lock_idx)) {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
@@ -491,7 +495,7 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
     const uint64_t slot_word = pack_leaf_slot(branch, leaf.units, leaf.addr);
     const size_t cas_idx = batch.add_cas(
         node.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-        node.taken_word, slot_word);
+        node.taken_word, slot_word, rdma::FaultSite::kSlotInstall);
     batch.add_cas(node.addr, locked, seen);
     batch.execute();
     ok = batch.cas_ok(cas_idx);
@@ -553,7 +557,8 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   const uint64_t locked_p = with_status(seen_p, NodeStatus::kLocked);
   rdma::DoorbellBatch pre(endpoint_);
   pre.add_write(grown_addr, grown.raw(), grown_bytes);
-  const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p);
+  const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
+                                      rdma::FaultSite::kLockAcquire);
   pre.execute();
   if (!pre.cas_ok(lock_idx)) {
     unlock_node(node.addr, seen_n);
@@ -580,7 +585,7 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
                                             grown_addr);
   const size_t cas_idx = batch.add_cas(
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-      parent.taken_word, new_slot);
+      parent.taken_word, new_slot, rdma::FaultSite::kSlotInstall);
   batch.add_cas(parent.addr, locked_p, seen_p);
   batch.execute();
   if (!batch.cas_ok(cas_idx)) {
@@ -661,7 +666,8 @@ bool RemoteTree::update(Slice key, Slice value) {
           // In-place: lock CAS, then one WRITE carrying the new value, the
           // Idle status and the fresh checksum (combined release+write).
           const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-          if (!endpoint_.cas(d.leaf_addr, seen, locked)) {
+          if (!endpoint_.cas(d.leaf_addr, seen, locked, nullptr,
+                             rdma::FaultSite::kLockAcquire)) {
             stats_.lock_fail_retries++;
             continue;
           }
@@ -681,7 +687,8 @@ bool RemoteTree::update(Slice key, Slice value) {
         // Out-of-place: lock the old leaf (blocks in-place updaters), then
         // swap the parent slot to a bigger leaf.
         const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-        if (!endpoint_.cas(d.leaf_addr, seen, locked)) {
+        if (!endpoint_.cas(d.leaf_addr, seen, locked, nullptr,
+                           rdma::FaultSite::kLockAcquire)) {
           stats_.lock_fail_retries++;
           continue;
         }
@@ -692,7 +699,8 @@ bool RemoteTree::update(Slice key, Slice value) {
           rdma::DoorbellBatch pre(endpoint_);
           NewLeaf leaf = make_leaf(tkey, value, &pre);
           const uint64_t locked_p = with_status(seen_p, NodeStatus::kLocked);
-          const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p);
+          const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
+                                      rdma::FaultSite::kLockAcquire);
           pre.execute();
           if (pre.cas_ok(lock_idx)) {
             InnerImage fresh;
@@ -707,7 +715,8 @@ bool RemoteTree::update(Slice key, Slice value) {
               const size_t cas_idx = batch.add_cas(
                   parent.addr.plus(kInnerHeaderBytes +
                                    static_cast<uint64_t>(idx) * 8),
-                  parent.taken_word, new_slot);
+                  parent.taken_word, new_slot,
+                  rdma::FaultSite::kSlotInstall);
               batch.add_cas(parent.addr, locked_p, seen_p);
               batch.execute();
               done = batch.cas_ok(cas_idx);
@@ -785,7 +794,8 @@ bool RemoteTree::remove(Slice key) {
         }
         // Idle -> Invalid is the linearization point (Sec. IV, Delete).
         if (!endpoint_.cas(d.leaf_addr, seen,
-                           with_status(seen, NodeStatus::kInvalid))) {
+                           with_status(seen, NodeStatus::kInvalid), nullptr,
+                           rdma::FaultSite::kLockAcquire)) {
           stats_.op_retries++;
           continue;
         }

@@ -365,7 +365,8 @@ bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
       continue;
     }
     // Lock the leaf: CAS on the header word.
-    if (!endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit)) {
+    if (!endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
+                       rdma::FaultSite::kLockAcquire)) {
       stats_.lock_fail_retries++;
       continue;
     }
@@ -493,7 +494,8 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
           allocator_.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
       endpoint_.write(root_addr, root.w, kNodeBytes);
       if (endpoint_.cas(ref_.root_ptr, root_word,
-                        pack_root(root_addr, false, parent_level))) {
+                        pack_root(root_addr, false, parent_level), nullptr,
+                        rdma::FaultSite::kSlotInstall)) {
         root_word_cache_ = pack_root(root_addr, false, parent_level);
         stats_.root_splits++;
         return true;
@@ -544,7 +546,8 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
 
     const uint64_t seen = parent->image.header();
     if (hdr_locked(seen) ||
-        !endpoint_.cas(parent->addr, seen, seen | kLockBit)) {
+        !endpoint_.cas(parent->addr, seen, seen | kLockBit, nullptr,
+                       rdma::FaultSite::kLockAcquire)) {
       stats_.lock_fail_retries++;
       continue;
     }
@@ -641,7 +644,8 @@ bool BpTreeIndex::remove(Slice key) {
     PathEntry& leaf_entry = path.back();
     const uint64_t seen = leaf_entry.image.header();
     if (hdr_locked(seen) ||
-        !endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit)) {
+        !endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
+                       rdma::FaultSite::kLockAcquire)) {
       stats_.lock_fail_retries++;
       continue;
     }

@@ -32,12 +32,26 @@ class Flags {
 
   uint64_t get_u64(const std::string& name, uint64_t def) const {
     auto it = values_.find(name);
-    return it == values_.end() ? def : std::stoull(it->second);
+    if (it == values_.end()) return def;
+    try {
+      size_t pos = 0;
+      const uint64_t v = std::stoull(it->second, &pos);
+      if (pos == it->second.size()) return v;
+    } catch (const std::exception&) {
+    }
+    die_bad_value(name, it->second, "an unsigned integer");
   }
 
   double get_double(const std::string& name, double def) const {
     auto it = values_.find(name);
-    return it == values_.end() ? def : std::stod(it->second);
+    if (it == values_.end()) return def;
+    try {
+      size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos == it->second.size()) return v;
+    } catch (const std::exception&) {
+    }
+    die_bad_value(name, it->second, "a number");
   }
 
   bool get_bool(const std::string& name, bool def) const {
@@ -56,6 +70,14 @@ class Flags {
   const std::string& program() const { return program_; }
 
  private:
+  [[noreturn]] static void die_bad_value(const std::string& name,
+                                         const std::string& value,
+                                         const char* expected) {
+    std::cerr << "--" << name << ": expected " << expected << ", got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+
   std::string program_;
   std::map<std::string, std::string> values_;
 };

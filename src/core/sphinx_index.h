@@ -48,6 +48,7 @@ struct SphinxStats {
   uint64_t parallel_fallbacks = 0; // multi-prefix doorbell reads issued
   uint64_t root_fallbacks = 0;     // find_start gave up -> root traversal
   uint64_t inht_update_misses = 0; // type-switch entry CAS lost a race
+  uint64_t inht_insert_fails = 0;  // INHT insert gave up (table full / faults)
 };
 
 class SphinxIndex final : public art::RemoteTree {
@@ -84,7 +85,12 @@ class SphinxIndex final : public art::RemoteTree {
   void on_inner_created(Slice full_prefix, const art::InnerImage& image,
                         rdma::GlobalAddr addr) override {
     (void)full_prefix;
-    inht_.insert(image.prefix_hash_full(), image.type(), addr);
+    // A failed insert (table full, or injected CAS losses exhausting the
+    // retry budget) is tolerable: searches fall back to the parallel-read /
+    // root path, and on_inner_switched re-inserts the entry later.
+    if (!inht_.insert(image.prefix_hash_full(), image.type(), addr)) {
+      sstats_.inht_insert_fails++;
+    }
     if (filter_ != nullptr) filter_->insert(image.prefix_hash_full());
   }
 

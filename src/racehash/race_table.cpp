@@ -174,7 +174,8 @@ bool RaceClient::insert(uint64_t hash, uint64_t payload) {
     uint64_t header_after = 0;
     rdma::DoorbellBatch batch(endpoint_);
     const size_t cas_idx = batch.add_cas(
-        gaddr.plus(static_cast<uint64_t>(free_slot) * 8), 0, entry);
+        gaddr.plus(static_cast<uint64_t>(free_slot) * 8), 0, entry,
+        rdma::FaultSite::kHashInsert);
     batch.add_read(header_addr, &header_after, 8);
     batch.execute();
     if (!batch.cas_ok(cas_idx)) {
@@ -233,7 +234,8 @@ bool RaceClient::update(uint64_t hash, uint64_t old_payload,
     uint64_t header_after = 0;
     rdma::DoorbellBatch batch(endpoint_);
     const size_t cas_idx = batch.add_cas(
-        gaddr.plus(static_cast<uint64_t>(slot) * 8), old_entry, new_entry);
+        gaddr.plus(static_cast<uint64_t>(slot) * 8), old_entry, new_entry,
+        rdma::FaultSite::kHashUpdate);
     batch.add_read(header_addr, &header_after, 8);
     batch.execute();
     if (!batch.cas_ok(cas_idx)) continue;
@@ -285,7 +287,8 @@ bool RaceClient::erase(uint64_t hash, uint64_t payload) {
     uint64_t header_after = 0;
     rdma::DoorbellBatch batch(endpoint_);
     const size_t cas_idx = batch.add_cas(
-        gaddr.plus(static_cast<uint64_t>(slot) * 8), entry, 0);
+        gaddr.plus(static_cast<uint64_t>(slot) * 8), entry, 0,
+        rdma::FaultSite::kHashErase);
     batch.add_read(header_addr, &header_after, 8);
     batch.execute();
     if (!batch.cas_ok(cas_idx)) continue;
@@ -313,7 +316,10 @@ bool RaceClient::split_segment(uint64_t hash) {
   // Splits are rare -- amortized once per kGroupsPerSegment*kSlotsPerGroup
   // inserts -- so coarse serialization costs little.
   for (int spin = 0; spin < (1 << 20); ++spin) {
-    if (endpoint_.cas(table_.dir_lock, 0, 1)) break;
+    if (endpoint_.cas(table_.dir_lock, 0, 1, nullptr,
+                      rdma::FaultSite::kTableLock)) {
+      break;
+    }
     if (spin == (1 << 20) - 1) return false;
   }
 
@@ -339,7 +345,8 @@ bool RaceClient::split_segment(uint64_t hash) {
 
   // Lock the segment (bump version so racing CAS writers detect us).
   if (!endpoint_.cas(header_addr, header,
-                     pack_header(true, hdr_version(header) + 1, suffix, ld))) {
+                     pack_header(true, hdr_version(header) + 1, suffix, ld),
+                     nullptr, rdma::FaultSite::kTableLock)) {
     endpoint_.write64(table_.dir_lock, 0);
     return true;  // raced; caller retries
   }

@@ -2,8 +2,35 @@
 
 #include <algorithm>
 #include <array>
+#include <thread>
 
 namespace sphinx::rdma {
+
+bool Endpoint::fault_gate(VerbKind kind, uint32_t mn, FaultSite site) {
+  FaultInjector* injector = fabric_.fault_injector();
+  if (injector == nullptr) return false;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const FaultDecision d = injector->on_verb(
+        VerbDesc{kind, mn, fault_client_id_, fault_verb_seq_++, site});
+    if (d.delay_ns > 0) clock_ns_ += d.delay_ns;
+    if (d.stall_ns > 0) {
+      // A stall widens real race windows too, not just virtual ones.
+      clock_ns_ += d.stall_ns;
+      std::this_thread::yield();
+    }
+    if (!d.reject) return d.fail_cas;
+    // MN offline: the verb timed out without executing. Charge the
+    // detection latency and reissue until the MN recovers; a sticky
+    // offline past the cap degrades into a counted give-up (the verb then
+    // executes) rather than a hang.
+    clock_ns_ += fabric_.config().verb_timeout_ns;
+    if (attempt >= kMaxOfflineRetries) {
+      injector->note_offline_giveup();
+      return d.fail_cas;
+    }
+    std::this_thread::yield();
+  }
+}
 
 void DoorbellBatch::add_read(GlobalAddr addr, void* dst, size_t len) {
   Op op;
@@ -24,13 +51,14 @@ void DoorbellBatch::add_write(GlobalAddr addr, const void* src, size_t len) {
 }
 
 size_t DoorbellBatch::add_cas(GlobalAddr addr, uint64_t expected,
-                              uint64_t desired) {
+                              uint64_t desired, FaultSite site) {
   Op op;
   op.type = OpType::kCas;
   op.addr = addr;
   op.expected = expected;
   op.desired = desired;
   op.len = 8;
+  op.site = site;
   ops_.push_back(op);
   return ops_.size() - 1;
 }
@@ -155,6 +183,17 @@ void DoorbellBatch::execute() {
 
 void DoorbellBatch::apply_one(Op& op) {
   MemoryRegion& region = ep_.fabric_.region(op.addr.mn());
+  bool inject_cas_fail = false;
+  if (ep_.faulty()) {
+    VerbKind kind = VerbKind::kRead;
+    switch (op.type) {
+      case OpType::kRead: kind = VerbKind::kRead; break;
+      case OpType::kWrite: kind = VerbKind::kWrite; break;
+      case OpType::kCas: kind = VerbKind::kCas; break;
+      case OpType::kFaa: kind = VerbKind::kFaa; break;
+    }
+    inject_cas_fail = ep_.fault_gate(kind, op.addr.mn(), op.site);
+  }
   switch (op.type) {
     case OpType::kRead:
       region.read_bytes(op.addr.offset(), op.dst, op.len);
@@ -163,6 +202,14 @@ void DoorbellBatch::apply_one(Op& op) {
       region.write_bytes(op.addr.offset(), op.src, op.len);
       break;
     case OpType::kCas:
+      if (inject_cas_fail) {
+        // Injected lost race: no swap; report the true current value, like
+        // hardware CAS reporting the winner's word. Later ops in the batch
+        // still execute unconditionally.
+        op.cas_ok = false;
+        op.old_value = region.load64(op.addr.offset());
+        break;
+      }
       op.cas_ok = region.cas64(op.addr.offset(), op.expected, op.desired,
                                &op.old_value);
       break;

@@ -8,6 +8,11 @@
 // on (Kalia et al., ATC'16): N verbs posted together cost one round trip;
 // all of them execute unconditionally and report individual results, exactly
 // like hardware (a failed CAS does not suppress a later WRITE in the batch).
+//
+// When a FaultInjector is installed on the fabric (fault_injector.h), every
+// metered verb -- standalone or inside a batch -- consults it first and may
+// be delayed, stalled, rejected (MN offline; the endpoint retries) or, for
+// CAS verbs tagged with a FaultSite, forced to lose its race.
 #pragma once
 
 #include <cassert>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "rdma/fabric.h"
+#include "rdma/fault_injector.h"
 #include "rdma/stats.h"
 
 namespace sphinx::rdma {
@@ -30,7 +36,10 @@ class DoorbellBatch {
   void add_read(GlobalAddr addr, void* dst, size_t len);
   void add_write(GlobalAddr addr, const void* src, size_t len);
   // Returns the op index used to query the CAS outcome after execute().
-  size_t add_cas(GlobalAddr addr, uint64_t expected, uint64_t desired);
+  // `site` tags retry-safe CAS call sites for fault injection (see
+  // fault_injector.h); the default kNone marks the op as never injectable.
+  size_t add_cas(GlobalAddr addr, uint64_t expected, uint64_t desired,
+                 FaultSite site = FaultSite::kNone);
   size_t add_faa(GlobalAddr addr, uint64_t delta);
 
   size_t size() const { return ops_.size(); }
@@ -61,6 +70,7 @@ class DoorbellBatch {
     uint64_t desired = 0;   // cas / faa delta
     uint64_t old_value = 0;
     bool cas_ok = false;
+    FaultSite site = FaultSite::kNone;  // cas: injectability tag
   };
 
   void apply_one(Op& op);
@@ -75,19 +85,21 @@ class Endpoint {
   // Unmetered endpoints (bootstrap/loading) mutate memory without touching
   // clocks or statistics.
   Endpoint(Fabric& fabric, uint32_t cn, bool metered = true)
-      : fabric_(fabric), cn_(cn), metered_(metered) {
+      : fabric_(fabric), cn_(cn), metered_(metered), fault_client_id_(cn) {
     assert(cn < fabric.config().num_cns);
   }
 
   // ---- one-sided verbs (each is one round trip) ---------------------------
 
   void read(GlobalAddr addr, void* dst, size_t len) {
+    if (faulty()) fault_gate(VerbKind::kRead, addr.mn(), FaultSite::kNone);
     fabric_.region(addr.mn()).read_bytes(addr.offset(), dst, len);
     charge_single(addr.mn(), len, /*is_read=*/true);
     if (metered_) stats_.reads++;
   }
 
   void write(GlobalAddr addr, const void* src, size_t len) {
+    if (faulty()) fault_gate(VerbKind::kWrite, addr.mn(), FaultSite::kNone);
     fabric_.region(addr.mn()).write_bytes(addr.offset(), src, len);
     charge_single(addr.mn(), len, /*is_read=*/false);
     if (metered_) stats_.writes++;
@@ -101,8 +113,20 @@ class Endpoint {
 
   void write64(GlobalAddr addr, uint64_t v) { write(addr, &v, sizeof(v)); }
 
+  // `site` tags retry-safe call sites for CAS fault injection (see
+  // fault_injector.h). An injected failure performs no swap and reports
+  // the word's true current value through *observed, indistinguishable
+  // from losing the race to another client.
   bool cas(GlobalAddr addr, uint64_t expected, uint64_t desired,
-           uint64_t* observed = nullptr) {
+           uint64_t* observed = nullptr, FaultSite site = FaultSite::kNone) {
+    if (faulty() && fault_gate(VerbKind::kCas, addr.mn(), site)) {
+      if (observed != nullptr) {
+        *observed = fabric_.region(addr.mn()).load64(addr.offset());
+      }
+      charge_single(addr.mn(), 8, /*is_read=*/false);
+      stats_.cas++;
+      return false;
+    }
     const bool ok =
         fabric_.region(addr.mn()).cas64(addr.offset(), expected, desired,
                                         observed);
@@ -112,6 +136,7 @@ class Endpoint {
   }
 
   uint64_t faa(GlobalAddr addr, uint64_t delta) {
+    if (faulty()) fault_gate(VerbKind::kFaa, addr.mn(), FaultSite::kNone);
     const uint64_t old = fabric_.region(addr.mn()).faa64(addr.offset(), delta);
     charge_single(addr.mn(), 8, /*is_read=*/false);
     if (metered_) stats_.faa++;
@@ -139,8 +164,33 @@ class Endpoint {
     return fabric_.config().doorbell_batching;
   }
 
+  // ---- fault injection ----------------------------------------------------
+
+  // Identifies this endpoint in fault schedules (and per-client event
+  // logs). Defaults to the CN id; stress harnesses set a unique id per
+  // worker so probabilistic schedules are a pure function of the worker.
+  void set_fault_client_id(uint32_t id) { fault_client_id_ = id; }
+  uint32_t fault_client_id() const { return fault_client_id_; }
+  uint64_t fault_verb_seq() const { return fault_verb_seq_; }
+
+  // True when verbs from this endpoint are subject to fault injection.
+  bool faulty() const {
+    return metered_ && fabric_.fault_injector() != nullptr;
+  }
+
+  // Consults the installed injector for one verb. Applies delays/stalls to
+  // the virtual clock, loops through MN-offline rejections (charging one
+  // verb timeout per reissue), and returns whether a CAS at `site` must
+  // report an injected failure. Defined in endpoint.cpp.
+  bool fault_gate(VerbKind kind, uint32_t mn, FaultSite site);
+
  private:
   friend class DoorbellBatch;
+
+  // Reissue cap while an MN is sticky-offline: enough real yields for a
+  // controller thread to restore the MN, small enough that a forgotten
+  // restore degrades into a counted give-up instead of a hang.
+  static constexpr uint32_t kMaxOfflineRetries = 1u << 14;
 
   // Charges one verb of `payload` bytes to/from MN `mn` as a standalone
   // round trip. Unloaded cost model: posting CPU + CN NIC processing +
@@ -173,6 +223,8 @@ class Endpoint {
   bool metered_;
   uint64_t clock_ns_ = 0;
   EndpointStats stats_;
+  uint32_t fault_client_id_;
+  uint64_t fault_verb_seq_ = 0;
 };
 
 }  // namespace sphinx::rdma

@@ -1,8 +1,10 @@
 // The simulated RDMA fabric: memory-node regions plus the shared NIC
 // clocks. Endpoints (one per client/worker) issue one-sided verbs against
-// it; see endpoint.h.
+// it; see endpoint.h. An optional FaultInjector (fault_injector.h) can be
+// installed to perturb every metered verb with deterministic faults.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -14,6 +16,8 @@
 #include "rdma/nic_clock.h"
 
 namespace sphinx::rdma {
+
+class FaultInjector;
 
 class Fabric {
  public:
@@ -63,11 +67,21 @@ class Fabric {
     return total;
   }
 
+  // Installs (or removes, with nullptr) a fault injector consulted by every
+  // metered verb. Non-owning; the injector must outlive its installation.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
  private:
   NetworkConfig config_;
   std::vector<std::unique_ptr<MemoryRegion>> regions_;
   std::unique_ptr<NicClock[]> mn_nics_;
   std::unique_ptr<NicClock[]> cn_nics_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 }  // namespace sphinx::rdma

@@ -1,0 +1,164 @@
+#include "rdma/fault_injector.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace sphinx::rdma {
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
+  for (auto& f : fires_left_) f.store(0, std::memory_order_relaxed);
+  for (auto& o : offline_) o.store(0, std::memory_order_relaxed);
+}
+
+size_t FaultInjector::add_rule(const FaultRule& rule) {
+  const uint32_t idx = num_rules_.load(std::memory_order_relaxed);
+  if (idx >= kMaxRules) {
+    throw std::length_error("FaultInjector: too many rules");
+  }
+  rules_[idx] = rule;
+  fires_left_[idx].store(rule.max_fires, std::memory_order_relaxed);
+  // Publish after the rule body is fully written: readers acquire
+  // num_rules_ and only then touch rules_[i < n].
+  num_rules_.store(idx + 1, std::memory_order_release);
+  return idx;
+}
+
+void FaultInjector::disarm_rule(size_t id) {
+  if (id < kMaxRules) fires_left_[id].store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear_rules() {
+  const uint32_t n = num_rules_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i) disarm_rule(i);
+}
+
+void FaultInjector::arm_mn_offline(uint32_t mn, uint64_t reject_count) {
+  if (mn >= kMaxMns || reject_count == kOfflineSticky) return;
+  offline_[mn].store(reject_count, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_mn_offline(uint32_t mn, bool offline) {
+  if (mn >= kMaxMns) return;
+  offline_[mn].store(offline ? kOfflineSticky : 0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::mn_offline(uint32_t mn) const {
+  return mn < kMaxMns && offline_[mn].load(std::memory_order_relaxed) != 0;
+}
+
+bool FaultInjector::rule_fires(const FaultRule& rule, size_t rule_idx,
+                               const VerbDesc& v) {
+  if ((rule.verbs & verb_bit(v.kind)) == 0) return false;
+  if (rule.mn >= 0 && static_cast<uint32_t>(rule.mn) != v.mn) return false;
+  if (rule.client_id >= 0 &&
+      static_cast<uint32_t>(rule.client_id) != v.client_id) {
+    return false;
+  }
+  if (rule.kind == FaultKind::kCasFail) {
+    if (v.kind != VerbKind::kCas) return false;
+    if (v.site == FaultSite::kNone) return false;  // untagged: protected
+    if (rule.site != FaultSite::kAny && rule.site != v.site) return false;
+  }
+  if (rule.probability < 1.0) {
+    if (rule.probability <= 0.0) return false;
+    // Pure function of (seed, client, seq, rule): the same client replays
+    // the same decision stream on every run.
+    uint64_t x = seed_;
+    x ^= static_cast<uint64_t>(v.client_id) * 0xff51afd7ed558ccdULL;
+    x ^= v.seq * 0x9e3779b97f4a7c15ULL;
+    x ^= (rule_idx + 1) * 0xc4ceb9fe1a85ec53ULL;
+    const uint64_t h = splitmix64(x) >> 11;  // 53 random bits
+    const uint64_t threshold = static_cast<uint64_t>(
+        rule.probability * 9007199254740992.0);  // * 2^53
+    if (h >= threshold) return false;
+  }
+  return consume_fire(rule_idx);
+}
+
+bool FaultInjector::consume_fire(size_t rule_idx) {
+  std::atomic<uint64_t>& left = fires_left_[rule_idx];
+  uint64_t cur = left.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur == 0) return false;
+    if (cur == UINT64_MAX) return true;  // unlimited budget
+    if (left.compare_exchange_weak(cur, cur - 1,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void FaultInjector::record(FaultKind kind, const VerbDesc& v) {
+  if (!recording_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(events_mu_);
+  events_[v.client_id].push_back(FaultEvent{kind, v.kind, v.mn, v.seq});
+}
+
+FaultDecision FaultInjector::on_verb(const VerbDesc& v) {
+  counters_.verbs_inspected.fetch_add(1, std::memory_order_relaxed);
+  FaultDecision d;
+
+  // Dedicated per-MN offline state (sticky or countdown).
+  if (v.mn < kMaxMns) {
+    uint64_t cur = offline_[v.mn].load(std::memory_order_relaxed);
+    while (cur != 0) {
+      if (cur == kOfflineSticky) {
+        d.reject = true;
+        break;
+      }
+      if (offline_[v.mn].compare_exchange_weak(cur, cur - 1,
+                                               std::memory_order_relaxed)) {
+        d.reject = true;
+        break;
+      }
+    }
+  }
+
+  const uint32_t n = num_rules_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    const FaultRule& rule = rules_[i];
+    if (!rule_fires(rule, i, v)) continue;
+    switch (rule.kind) {
+      case FaultKind::kCasFail:
+        d.fail_cas = true;
+        counters_.cas_failures.fetch_add(1, std::memory_order_relaxed);
+        record(FaultKind::kCasFail, v);
+        break;
+      case FaultKind::kDelay:
+        d.delay_ns += rule.delay_ns;
+        counters_.delays.fetch_add(1, std::memory_order_relaxed);
+        record(FaultKind::kDelay, v);
+        break;
+      case FaultKind::kStall:
+        d.stall_ns += rule.delay_ns;
+        counters_.stalls.fetch_add(1, std::memory_order_relaxed);
+        record(FaultKind::kStall, v);
+        break;
+      case FaultKind::kMnOffline:
+        d.reject = true;
+        break;
+    }
+  }
+
+  if (d.reject) {
+    counters_.offline_rejects.fetch_add(1, std::memory_order_relaxed);
+    record(FaultKind::kMnOffline, v);
+  }
+  return d;
+}
+
+void FaultInjector::set_recording(bool on) {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  recording_.store(on, std::memory_order_relaxed);
+  if (on) events_.clear();
+}
+
+std::vector<FaultEvent> FaultInjector::events_for_client(
+    uint32_t client_id) const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  auto it = events_.find(client_id);
+  return it == events_.end() ? std::vector<FaultEvent>() : it->second;
+}
+
+}  // namespace sphinx::rdma

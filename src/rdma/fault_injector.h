@@ -1,0 +1,171 @@
+// Deterministic fault injection for the simulated RDMA fabric.
+//
+// A FaultInjector is installed on a Fabric (see fabric.h); every *metered*
+// verb an Endpoint or DoorbellBatch issues consults it first. Unmetered
+// endpoints (bootstrap / bulk loading) bypass injection entirely, so setup
+// code can never be faulted. Four fault classes are supported:
+//
+//   * kCasFail   -- a CAS verb "loses its race": nothing is swapped and the
+//                   caller sees failure with the word's true current value,
+//                   exactly as if another client's CAS landed first. Only
+//                   CAS verbs tagged with a FaultSite by their call site are
+//                   eligible; untagged CAS (e.g. lock *releases*, which can
+//                   never lose a race under the locking protocol) are never
+//                   failed, so injection cannot wedge a node lock.
+//   * kDelay     -- the verb is charged extra virtual-clock nanoseconds
+//                   (models congestion / retransmission).
+//   * kStall     -- the endpoint stalls *between* the verbs of a logical
+//                   operation: extra virtual time plus a real thread yield,
+//                   widening race windows (e.g. between a lock-acquire CAS
+//                   and the payload write that follows it).
+//   * kMnOffline -- the target MN is unreachable: the verb is rejected with
+//                   a retryable error. The endpoint charges a timeout and
+//                   reissues until the MN comes back (or a retry cap trips,
+//                   counted as offline_giveups).
+//
+// Determinism: probabilistic rules decide from a pure hash of
+// (seed, client_id, per-endpoint verb sequence, rule index), so a single
+// client replays the exact same fault schedule on every run with the same
+// seed. Budgeted rules (max_fires) and MN-offline countdowns are shared
+// atomics: deterministic under one thread, first-come-first-served across
+// threads. Counters are exported through rdma/stats.h (FaultStats).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rdma/stats.h"
+
+namespace sphinx::rdma {
+
+enum class VerbKind : uint8_t { kRead = 0, kWrite = 1, kCas = 2, kFaa = 3 };
+
+enum class FaultKind : uint8_t { kCasFail, kDelay, kStall, kMnOffline };
+
+// Call-site tag for CAS verbs. Only tagged sites may have failures
+// injected; a site must handle CAS failure by retrying (all tagged sites
+// below do). kNone marks protocol steps whose CAS cannot fail in a correct
+// execution (lock releases, best-effort cleanup) -- never injectable.
+enum class FaultSite : uint8_t {
+  kNone = 0,      // untagged: never injectable
+  kAny,           // rule filter only: matches every tagged site
+  kLockAcquire,   // node/leaf lock acquisition (Idle -> Locked, and the
+                  // delete linearization CAS Idle -> Invalid)
+  kSlotInstall,   // slot CAS under a held lock (retry-safe)
+  kHashInsert,    // RACE table: claim a free slot
+  kHashUpdate,    // RACE table: replace an entry (INHT type switch)
+  kHashErase,     // RACE table: clear an entry
+  kTableLock,     // RACE table: directory / segment lock acquisition
+};
+
+constexpr uint32_t verb_bit(VerbKind k) {
+  return 1u << static_cast<uint32_t>(k);
+}
+constexpr uint32_t kAllVerbs = 0xF;
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kDelay;
+  // Chance a matching verb fires this rule; decided by a pure hash of
+  // (seed, client_id, verb seq, rule index), so 1.0 means "always".
+  double probability = 1.0;
+  int32_t mn = -1;         // target MN filter; -1 = any
+  int32_t client_id = -1;  // endpoint client-id filter; -1 = any
+  uint32_t verbs = kAllVerbs;            // VerbKind bitmask (verb_bit)
+  FaultSite site = FaultSite::kAny;      // kCasFail only: which tagged sites
+  uint64_t delay_ns = 0;                 // kDelay / kStall magnitude
+  uint64_t max_fires = UINT64_MAX;       // budget; UINT64_MAX = unlimited
+};
+
+// Everything the injector may condition a decision on.
+struct VerbDesc {
+  VerbKind kind = VerbKind::kRead;
+  uint32_t mn = 0;
+  uint32_t client_id = 0;
+  uint64_t seq = 0;  // per-endpoint verb sequence number
+  FaultSite site = FaultSite::kNone;
+};
+
+struct FaultDecision {
+  bool fail_cas = false;  // CAS must report failure without swapping
+  bool reject = false;    // MN offline: retryable error, verb not executed
+  uint64_t delay_ns = 0;  // extra virtual latency to charge
+  uint64_t stall_ns = 0;  // stall (virtual ns; endpoint also yields)
+};
+
+// One injected fault, for reproducibility checks (set_recording).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDelay;
+  VerbKind verb = VerbKind::kRead;
+  uint32_t mn = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const FaultEvent& o) const {
+    return kind == o.kind && verb == o.verb && mn == o.mn && seq == o.seq;
+  }
+};
+
+class FaultInjector {
+ public:
+  static constexpr size_t kMaxRules = 64;
+  static constexpr uint32_t kMaxMns = 64;
+  // Sticky "offline until restored" marker for per-MN state.
+  static constexpr uint64_t kOfflineSticky = UINT64_MAX;
+
+  explicit FaultInjector(uint64_t seed);
+
+  // Rules are append-only and immutable once added (lock-free reads on the
+  // verb path); returns the rule id. Throws std::length_error beyond
+  // kMaxRules.
+  size_t add_rule(const FaultRule& rule);
+  void disarm_rule(size_t id);
+  // Disarms every rule (ids are not reused afterwards).
+  void clear_rules();
+
+  // Takes `mn` offline for the next `reject_count` verbs targeting it
+  // (across all endpoints), then it recovers by itself. Deterministic and
+  // self-terminating -- preferred for tests.
+  void arm_mn_offline(uint32_t mn, uint64_t reject_count);
+  // Sticky offline toggle; the MN stays down until restored. Endpoints
+  // retry up to a cap (then give up and execute, counted) so a forgotten
+  // restore degrades into noise instead of a hang.
+  void set_mn_offline(uint32_t mn, bool offline);
+  bool mn_offline(uint32_t mn) const;
+
+  // The per-verb consultation (called from Endpoint::fault_gate).
+  FaultDecision on_verb(const VerbDesc& v);
+  void note_offline_giveup() {
+    counters_.offline_giveups.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t seed() const { return seed_; }
+  FaultStats stats() const { return counters_.snapshot(); }
+
+  // Per-client fault event log (for bit-for-bit reproducibility tests).
+  // Recording takes a mutex per injected fault; leave it off under load.
+  void set_recording(bool on);
+  std::vector<FaultEvent> events_for_client(uint32_t client_id) const;
+
+ private:
+  bool rule_fires(const FaultRule& rule, size_t rule_idx, const VerbDesc& v);
+  bool consume_fire(size_t rule_idx);
+  void record(FaultKind kind, const VerbDesc& v);
+
+  const uint64_t seed_;
+  std::array<FaultRule, kMaxRules> rules_{};
+  std::array<std::atomic<uint64_t>, kMaxRules> fires_left_{};
+  std::atomic<uint32_t> num_rules_{0};
+  // Per-MN offline state: 0 = online, kOfflineSticky = until restored,
+  // anything else = countdown of rejects left.
+  std::array<std::atomic<uint64_t>, kMaxMns> offline_{};
+  FaultCounters counters_;
+
+  std::atomic<bool> recording_{false};
+  mutable std::mutex events_mu_;
+  std::map<uint32_t, std::vector<FaultEvent>> events_;
+};
+
+}  // namespace sphinx::rdma

@@ -38,6 +38,11 @@ struct NetworkConfig {
   uint32_t num_cns = 3;
   uint32_t num_mns = 3;
 
+  // Time for a client to decide a verb is lost (transport retry exhausted /
+  // QP error surfaced) when its target MN is unreachable; charged per
+  // rejected verb under fault injection before the endpoint reissues it.
+  uint64_t verb_timeout_ns = 8000;
+
   // When false, every verb in a doorbell batch is issued as its own
   // round trip (ablation A2). The default mirrors the paper: one batch ==
   // one round trip.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace sphinx::rdma {
@@ -57,6 +58,50 @@ struct EndpointStats {
       r.bytes_per_mn[i] -= o.bytes_per_mn[i];
     }
     return r;
+  }
+};
+
+// Plain snapshot of the fault-injection counters (see fault_injector.h),
+// safe to copy/compare in tests and bench reports.
+struct FaultStats {
+  uint64_t verbs_inspected = 0;  // verbs that consulted the injector
+  uint64_t cas_failures = 0;     // CAS verbs forced to lose their race
+  uint64_t delays = 0;           // verbs charged extra virtual latency
+  uint64_t stalls = 0;           // verbs preceded by an endpoint stall
+  uint64_t offline_rejects = 0;  // verbs rejected by an offline MN
+  uint64_t offline_giveups = 0;  // endpoint retry cap hit while MN offline
+
+  uint64_t total_faults() const {
+    return cas_failures + delays + stalls + offline_rejects;
+  }
+
+  bool operator==(const FaultStats& o) const {
+    return verbs_inspected == o.verbs_inspected &&
+           cas_failures == o.cas_failures && delays == o.delays &&
+           stalls == o.stalls && offline_rejects == o.offline_rejects &&
+           offline_giveups == o.offline_giveups;
+  }
+};
+
+// Live fault counters, shared by every endpoint of a fabric (hence atomic;
+// endpoints on different threads bump them concurrently).
+struct FaultCounters {
+  std::atomic<uint64_t> verbs_inspected{0};
+  std::atomic<uint64_t> cas_failures{0};
+  std::atomic<uint64_t> delays{0};
+  std::atomic<uint64_t> stalls{0};
+  std::atomic<uint64_t> offline_rejects{0};
+  std::atomic<uint64_t> offline_giveups{0};
+
+  FaultStats snapshot() const {
+    FaultStats s;
+    s.verbs_inspected = verbs_inspected.load(std::memory_order_relaxed);
+    s.cas_failures = cas_failures.load(std::memory_order_relaxed);
+    s.delays = delays.load(std::memory_order_relaxed);
+    s.stalls = stalls.load(std::memory_order_relaxed);
+    s.offline_rejects = offline_rejects.load(std::memory_order_relaxed);
+    s.offline_giveups = offline_giveups.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

@@ -94,6 +94,9 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
       WorkerOut& out = outs[w];
       const uint32_t cn = w % num_cns;
       rdma::Endpoint endpoint(cluster_.fabric(), cn, /*metered=*/true);
+      // Distinct per worker (not per CN) so probabilistic fault schedules
+      // are a pure function of the worker, independent of thread timing.
+      endpoint.set_fault_client_id(w);
       mem::RemoteAllocator allocator(cluster_, endpoint);
       std::unique_ptr<KvIndex> index = factory_(w, cn, endpoint, allocator);
       Rng rng(options.seed * 7919 + w);

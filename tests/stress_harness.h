@@ -1,0 +1,354 @@
+// Multi-threaded stress harness with per-key linearizability checking.
+//
+// N client threads run a mixed insert/update/lookup/scan workload against
+// one index (any ycsb::SystemKind), optionally under a randomized fault
+// schedule (fault_injector.h). Correctness is judged two ways:
+//
+//   * Linearizability keys ("lin" keys, one writer each): the writer
+//     publishes started[k] = v before attempting to install version v and
+//     completed[k] = v after the install returns. Any reader brackets its
+//     search with lo = completed[k] (before) and hi = started[k] (after);
+//     a linearizable register must return a version in [lo, hi], and the
+//     key -- inserted during load, never removed -- must always be found.
+//   * Churn keys (one owner each, inserted/updated/removed at random): the
+//     owner tracks the expected final state in a private oracle map, which
+//     is checked exactly after all threads quiesce.
+//
+// Scans additionally assert strict ascending key order. With a fixed seed
+// and one thread, a run is bit-for-bit reproducible (verified by
+// test_stress.cpp by comparing fault event logs, clocks and reports).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/slice.h"
+#include "memnode/cluster.h"
+#include "rdma/fault_injector.h"
+#include "test_util.h"
+#include "ycsb/systems.h"
+
+namespace sphinx::testing {
+
+struct StressOptions {
+  ycsb::SystemKind kind = ycsb::SystemKind::kSphinx;
+  int threads = 4;
+  int lin_keys_per_thread = 8;
+  int churn_keys_per_thread = 64;
+  int ops_per_thread = 2000;
+  uint64_t seed = 42;
+  // When true, installs a randomized background fault schedule (delays,
+  // stalls, CAS race losses) derived from `seed`.
+  bool faults = false;
+  // Number of deterministic MN-outage bursts injected mid-run (rotating
+  // target MN, fixed reject budget each).
+  int offline_bursts = 0;
+};
+
+struct StressReport {
+  uint64_t lin_violations = 0;         // version outside [lo, hi] / lost key
+  uint64_t scan_order_violations = 0;  // scan output not strictly ascending
+  uint64_t oracle_mismatches = 0;      // quiesced state != churn oracle
+  uint64_t failed_ops = 0;             // op the oracle says must succeed
+  uint64_t total_ops = 0;
+  uint64_t final_clock_ns = 0;  // sum of worker virtual clocks
+  rdma::FaultStats fault_stats;
+
+  bool clean() const {
+    return lin_violations == 0 && scan_order_violations == 0 &&
+           oracle_mismatches == 0 && failed_ops == 0;
+  }
+};
+
+class StressHarness {
+ public:
+  explicit StressHarness(const StressOptions& options)
+      : options_(options),
+        cluster_(make_test_cluster()),
+        setup_(options.kind, *cluster_),
+        injector_(options.seed),
+        lin_count_(static_cast<size_t>(options.threads) *
+                   static_cast<size_t>(options.lin_keys_per_thread)),
+        started_(lin_count_),
+        completed_(lin_count_) {}
+
+  StressReport run() {
+    StressReport report;
+    load_lin_keys();
+
+    if (options_.faults) arm_background_schedule();
+    if (options_.faults || options_.offline_bursts > 0) {
+      cluster_->fabric().set_fault_injector(&injector_);
+    }
+
+    std::vector<std::map<std::string, std::string>> oracles(
+        static_cast<size_t>(options_.threads));
+    std::atomic<uint64_t> lin_violations{0};
+    std::atomic<uint64_t> scan_violations{0};
+    std::atomic<uint64_t> failed_ops{0};
+    std::atomic<uint64_t> clock_sum{0};
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < options_.threads; ++t) {
+      workers.emplace_back([&, t] {
+        worker(t, &oracles[static_cast<size_t>(t)], &lin_violations,
+               &scan_violations, &failed_ops, &clock_sum);
+      });
+    }
+    if (options_.offline_bursts > 0) run_outage_controller();
+    for (auto& w : workers) w.join();
+
+    // Quiesce: verification happens on a pristine fabric.
+    cluster_->fabric().set_fault_injector(nullptr);
+
+    report.lin_violations = lin_violations.load();
+    report.scan_order_violations = scan_violations.load();
+    report.failed_ops = failed_ops.load();
+    report.total_ops = static_cast<uint64_t>(options_.threads) *
+                       static_cast<uint64_t>(options_.ops_per_thread);
+    report.final_clock_ns = clock_sum.load();
+    report.fault_stats = injector_.stats();
+    verify_quiesced(oracles, &report);
+    return report;
+  }
+
+  rdma::FaultInjector& injector() { return injector_; }
+
+ private:
+  // Key naming. BpTree only supports fixed 8-byte keys, so every key is the
+  // big-endian encoding of a unique id; other systems get readable strings
+  // (varied lengths exercise ART path compression).
+  bool fixed_keys() const { return options_.kind == ycsb::SystemKind::kBpTree; }
+
+  std::string lin_key(int t, int i) const {
+    const uint64_t id =
+        static_cast<uint64_t>(t) * 1000000 + static_cast<uint64_t>(i);
+    if (fixed_keys()) return encode_u64_key(id);
+    return "lin:" + std::to_string(t) + ":" + std::to_string(i);
+  }
+
+  std::string churn_key(int t, int i) const {
+    const uint64_t id = static_cast<uint64_t>(t) * 1000000 + 500000 +
+                        static_cast<uint64_t>(i);
+    if (fixed_keys()) return encode_u64_key(id);
+    return "churn:" + std::to_string(t) + ":" + std::to_string(i);
+  }
+
+  size_t lin_slot(int t, int i) const {
+    return static_cast<size_t>(t) *
+               static_cast<size_t>(options_.lin_keys_per_thread) +
+           static_cast<size_t>(i);
+  }
+
+  static std::string lin_value(int64_t version) {
+    return "v:" + std::to_string(version);
+  }
+
+  static int64_t parse_lin_version(const std::string& value) {
+    if (value.size() < 3 || value[0] != 'v' || value[1] != ':') return -1;
+    return std::atoll(value.c_str() + 2);
+  }
+
+  void load_lin_keys() {
+    // Loading happens before the injector is installed; version 0 of every
+    // lin key is durably in place when the clock starts.
+    rdma::Endpoint ep(cluster_->fabric(), 0, /*metered=*/false);
+    mem::RemoteAllocator alloc(*cluster_, ep);
+    auto loader = setup_.make_client(0, ep, alloc);
+    for (int t = 0; t < options_.threads; ++t) {
+      for (int i = 0; i < options_.lin_keys_per_thread; ++i) {
+        loader->insert(lin_key(t, i), lin_value(0));
+        started_[lin_slot(t, i)].store(0);
+        completed_[lin_slot(t, i)].store(0);
+      }
+    }
+  }
+
+  void arm_background_schedule() {
+    rdma::FaultRule delay;
+    delay.kind = rdma::FaultKind::kDelay;
+    delay.probability = 0.05;
+    delay.delay_ns = 400;
+    injector_.add_rule(delay);
+
+    rdma::FaultRule stall;
+    stall.kind = rdma::FaultKind::kStall;
+    stall.probability = 0.01;
+    stall.delay_ns = 2000;
+    injector_.add_rule(stall);
+
+    rdma::FaultRule casfail;
+    casfail.kind = rdma::FaultKind::kCasFail;
+    casfail.probability = 0.03;
+    casfail.site = rdma::FaultSite::kAny;
+    injector_.add_rule(casfail);
+  }
+
+  void run_outage_controller() {
+    // Deterministic self-terminating bursts (countdown rejects), spaced by
+    // real sleeps so they land at varied points of the run.
+    const uint32_t num_mns = cluster_->config().num_mns;
+    for (int b = 0; b < options_.offline_bursts; ++b) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      injector_.arm_mn_offline(static_cast<uint32_t>(b) % num_mns, 250);
+    }
+  }
+
+  void worker(int t, std::map<std::string, std::string>* oracle,
+              std::atomic<uint64_t>* lin_violations,
+              std::atomic<uint64_t>* scan_violations,
+              std::atomic<uint64_t>* failed_ops,
+              std::atomic<uint64_t>* clock_sum) {
+    rdma::Endpoint ep(cluster_->fabric(), static_cast<uint32_t>(t) % 3, true);
+    ep.set_fault_client_id(static_cast<uint32_t>(t));
+    mem::RemoteAllocator alloc(*cluster_, ep);
+    auto index = setup_.make_client(static_cast<uint32_t>(t) % 3, ep, alloc);
+    Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(t));
+
+    std::vector<int64_t> my_version(
+        static_cast<size_t>(options_.lin_keys_per_thread), 0);
+    std::string v;
+    std::vector<std::pair<std::string, std::string>> scan_out;
+
+    for (int op = 0; op < options_.ops_per_thread; ++op) {
+      const uint64_t r = rng.next_below(100);
+      if (r < 35) {
+        // Lin read of anyone's key, with the bracket check.
+        const int ot = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.threads)));
+        const int oi = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.lin_keys_per_thread)));
+        const size_t slot = lin_slot(ot, oi);
+        const int64_t lo = completed_[slot].load();
+        const bool found = index->search(lin_key(ot, oi), &v);
+        const int64_t hi = started_[slot].load();
+        if (!found) {
+          (*lin_violations)++;  // lin keys are never removed
+        } else {
+          const int64_t ver = parse_lin_version(v);
+          if (ver < lo || ver > hi) (*lin_violations)++;
+        }
+      } else if (r < 50) {
+        // Lin write: bump the version of one of my keys.
+        const int i = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.lin_keys_per_thread)));
+        const size_t slot = lin_slot(t, i);
+        const int64_t ver = ++my_version[static_cast<size_t>(i)];
+        started_[slot].store(ver);
+        if (index->update(lin_key(t, i), lin_value(ver))) {
+          completed_[slot].store(ver);
+        } else {
+          (*failed_ops)++;  // the key exists; update must succeed
+        }
+      } else if (r < 80) {
+        // Churn on my own stripe, mirrored in the oracle.
+        const int i = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.churn_keys_per_thread)));
+        const std::string k = churn_key(t, i);
+        auto it = oracle->find(k);
+        if (it == oracle->end()) {
+          const std::string value = "c:" + std::to_string(op);
+          if (index->insert(k, value)) {
+            (*oracle)[k] = value;
+          } else {
+            (*failed_ops)++;
+          }
+        } else if (rng.next_below(3) == 0) {
+          if (index->remove(k)) {
+            oracle->erase(it);
+          } else {
+            (*failed_ops)++;
+          }
+        } else {
+          const std::string value = "c:" + std::to_string(op);
+          if (index->update(k, value)) {
+            it->second = value;
+          } else {
+            (*failed_ops)++;
+          }
+        }
+      } else if (r < 90) {
+        // Cross-stripe read: result races with the owner; no assertion.
+        const int ot = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.threads)));
+        const int oi = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.churn_keys_per_thread)));
+        index->search(churn_key(ot, oi), &v);
+      } else {
+        // Scan from a random lin key: keys must come back strictly
+        // ascending no matter what is in flight.
+        const int ot = static_cast<int>(rng.next_below(
+            static_cast<uint64_t>(options_.threads)));
+        scan_out.clear();
+        index->scan(lin_key(ot, 0), 16, &scan_out);
+        for (size_t j = 1; j < scan_out.size(); ++j) {
+          if (scan_out[j - 1].first >= scan_out[j].first) {
+            (*scan_violations)++;
+          }
+        }
+      }
+    }
+    clock_sum->fetch_add(ep.clock_ns());
+  }
+
+  void verify_quiesced(
+      const std::vector<std::map<std::string, std::string>>& oracles,
+      StressReport* report) {
+    rdma::Endpoint ep(cluster_->fabric(), 0, true);
+    mem::RemoteAllocator alloc(*cluster_, ep);
+    auto verifier = setup_.make_client(0, ep, alloc);
+    std::string v;
+
+    // Every lin key ends at exactly its writer's last completed version.
+    for (int t = 0; t < options_.threads; ++t) {
+      for (int i = 0; i < options_.lin_keys_per_thread; ++i) {
+        if (!verifier->search(lin_key(t, i), &v)) {
+          report->lin_violations++;
+          continue;
+        }
+        const int64_t want = completed_[lin_slot(t, i)].load();
+        if (parse_lin_version(v) != want) report->lin_violations++;
+      }
+    }
+
+    // Churn stripes must match their oracles exactly (both directions).
+    for (int t = 0; t < options_.threads; ++t) {
+      const auto& oracle = oracles[static_cast<size_t>(t)];
+      for (int i = 0; i < options_.churn_keys_per_thread; ++i) {
+        const std::string k = churn_key(t, i);
+        const bool found = verifier->search(k, &v);
+        auto it = oracle.find(k);
+        if (it == oracle.end()) {
+          if (found) report->oracle_mismatches++;
+        } else if (!found || v != it->second) {
+          report->oracle_mismatches++;
+        }
+      }
+    }
+  }
+
+  StressOptions options_;
+  std::unique_ptr<mem::Cluster> cluster_;
+  ycsb::SystemSetup setup_;
+  rdma::FaultInjector injector_;
+
+  size_t lin_count_;
+  // Indexed by lin_slot(); written by each key's single owner, read by all.
+  std::vector<std::atomic<int64_t>> started_;
+  std::vector<std::atomic<int64_t>> completed_;
+};
+
+inline StressReport run_stress(const StressOptions& options) {
+  return StressHarness(options).run();
+}
+
+}  // namespace sphinx::testing

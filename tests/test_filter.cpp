@@ -85,6 +85,43 @@ TEST(CuckooFilter, SecondChanceEvictsColdEntriesFirst) {
   EXPECT_GT(survivors(hot), survivors(cold) + 0.15);
 }
 
+TEST(CuckooFilter, HotWorkingSetSurvivesOverCapacityChurn) {
+  // Fill far past capacity with a one-shot cold stream while a small hot
+  // working set is periodically re-touched. The second-chance policy must
+  // keep (almost) all of the hot set resident and displace the cold
+  // stream instead, even though the stream is several times the filter.
+  CuckooFilter f(64);  // 256 slots
+  std::vector<uint64_t> hot;
+  for (uint64_t i = 0; hot.size() < 32; ++i) {
+    const uint64_t h = splitmix64(0x50f7 + i);
+    if (f.insert(h)) hot.push_back(h);
+  }
+
+  // 4x capacity of cold one-timers, interleaved with hot re-touches (each
+  // contains() re-arms the hotness bit, like repeated index lookups on a
+  // hot prefix).
+  for (uint64_t i = 0; i < 1024; ++i) {
+    f.insert(splitmix64(0xc01d0000 + i));
+    if (i % 8 == 0) {
+      for (uint64_t h : hot) f.contains(h);
+    }
+  }
+
+  uint64_t hot_alive = 0;
+  for (uint64_t h : hot) {
+    if (f.contains_cold(h)) hot_alive++;
+  }
+  EXPECT_GE(hot_alive, hot.size() - 2) << "hot prefixes were displaced";
+
+  // The cold stream did not accumulate: most one-timers are gone again.
+  uint64_t cold_alive = 0;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    if (f.contains_cold(splitmix64(0xc01d0000 + i))) cold_alive++;
+  }
+  EXPECT_LT(cold_alive, 256u);
+  EXPECT_GT(f.stats().evictions, 0u);
+}
+
 TEST(CuckooFilter, RelocationMakesRoomWhenAllHot) {
   CuckooFilter f(32);  // 128 slots
   std::vector<uint64_t> items;

@@ -147,6 +147,58 @@ TEST(DoorbellBatch, CasAndWriteAllExecute) {
   EXPECT_EQ(ep.read64(GlobalAddr(0, 264)), 77u);
 }
 
+TEST(DoorbellBatch, PerOpResultsAreIndependent) {
+  // Mixed outcomes in one batch: every op reports its own cas_ok /
+  // old_value, and memory effects apply in post order.
+  Fabric fabric(small_config(), 1 << 20);
+  Endpoint ep(fabric, 0);
+  ep.write64(GlobalAddr(0, 256), 10);
+  ep.write64(GlobalAddr(0, 264), 20);
+  ep.write64(GlobalAddr(0, 272), 30);
+
+  DoorbellBatch batch(ep);
+  const size_t ok_idx = batch.add_cas(GlobalAddr(0, 256), 10, 11);
+  const size_t fail_idx = batch.add_cas(GlobalAddr(0, 264), 999, 21);
+  const size_t faa_idx = batch.add_faa(GlobalAddr(0, 272), 5);
+  // Post-order: this CAS sees the value installed by ok_idx above.
+  const size_t chain_idx = batch.add_cas(GlobalAddr(0, 256), 11, 12);
+  batch.execute();
+  EXPECT_EQ(ep.stats().round_trips, 4u);  // 3 setup writes + 1 batch
+
+  EXPECT_TRUE(batch.cas_ok(ok_idx));
+  EXPECT_EQ(batch.old_value(ok_idx), 10u);
+  EXPECT_FALSE(batch.cas_ok(fail_idx));
+  EXPECT_EQ(batch.old_value(fail_idx), 20u);
+  EXPECT_EQ(batch.old_value(faa_idx), 30u);
+  EXPECT_TRUE(batch.cas_ok(chain_idx));
+  EXPECT_EQ(batch.old_value(chain_idx), 11u);
+
+  EXPECT_EQ(ep.read64(GlobalAddr(0, 256)), 12u);
+  EXPECT_EQ(ep.read64(GlobalAddr(0, 264)), 20u);  // failed CAS: untouched
+  EXPECT_EQ(ep.read64(GlobalAddr(0, 272)), 35u);
+}
+
+TEST(DoorbellBatch, FailedCasDoesNotSuppressWriteWithoutBatching) {
+  // The per-verb fallback path (ablation A2) must keep the same hardware
+  // semantics as the batched path.
+  NetworkConfig config = small_config();
+  config.doorbell_batching = false;
+  Fabric fabric(config, 1 << 20);
+  Endpoint ep(fabric, 0);
+  ep.write64(GlobalAddr(0, 256), 1);
+
+  DoorbellBatch batch(ep);
+  const size_t cas_idx = batch.add_cas(GlobalAddr(0, 256), 999, 2);
+  uint64_t v = 55;
+  batch.add_write(GlobalAddr(0, 264), &v, 8);
+  batch.execute();
+
+  EXPECT_FALSE(batch.cas_ok(cas_idx));
+  EXPECT_EQ(batch.old_value(cas_idx), 1u);
+  EXPECT_EQ(ep.read64(GlobalAddr(0, 256)), 1u);
+  EXPECT_EQ(ep.read64(GlobalAddr(0, 264)), 55u);
+}
+
 TEST(DoorbellBatch, DisabledBatchingCostsPerVerb) {
   NetworkConfig config = small_config();
   config.doorbell_batching = false;

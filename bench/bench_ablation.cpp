@@ -1,4 +1,4 @@
-// Ablations of Sphinx's design choices (DESIGN.md A1-A3):
+// Ablations of Sphinx's design choices (DESIGN.md A1-A4):
 //
 //   A1  Succinct Filter Cache on/off. Off = the paper's base INHT
 //       mechanism: read the hash entries of all Theta(L) prefixes in one
@@ -8,6 +8,10 @@
 //       (Sec. III-A, Fig. 4E discussion).
 //   A3  Filter budget sweep: hotness-bit second-chance eviction under
 //       pressure (Sec. III-B's "dataset larger than the filter" case).
+//   A4  Two-tier CN cache split: SFC only (existence) vs PEC only
+//       (location) vs both, at a fixed total byte budget. Shows the PEC's
+//       3 RTT -> 2 RTT saving and why the tiers compose (DESIGN.md,
+//       "Two-tier CN cache").
 //
 // Usage: bench_ablation [--keys=500000] [--ops=400] [--workers=96]
 #include <iostream>
@@ -21,9 +25,10 @@ namespace {
 ycsb::RunResult run_one(ycsb::SystemKind kind, uint64_t keys_n,
                         const std::vector<std::string>& keys, char workload,
                         uint32_t workers, uint64_t ops, bool batching,
-                        uint64_t cache_budget) {
+                        uint64_t cache_budget,
+                        uint64_t pec_budget = ycsb::kAutoPecBudget) {
   auto cluster = make_cluster(keys_n, batching);
-  ycsb::SystemSetup setup(kind, *cluster, cache_budget);
+  ycsb::SystemSetup setup(kind, *cluster, cache_budget, pec_budget);
   ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
   runner.load(keys_n, 64);
   ycsb::RunOptions warm;
@@ -108,6 +113,40 @@ int run(int argc, char** argv) {
            TablePrinter::fmt_double(r.rtts_per_op),
            TablePrinter::fmt_double(static_cast<double>(r.net.messages) /
                                     static_cast<double>(r.total_ops))});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "## A4 -- two-tier CN cache split at a fixed byte budget "
+                 "(YCSB-C)\n";
+    TablePrinter table({"variant", "throughput", "rtts/op", "msgs/op",
+                        "read-B/op"});
+    struct Variant {
+      const char* name;
+      ycsb::SystemKind kind;
+      uint64_t pec_budget;
+    };
+    // All three variants spend the same total CN budget; what differs is
+    // the carve-up between the existence tier (SFC) and the location tier
+    // (PEC). 95% matches the SFC's share in the seed configuration.
+    const Variant variants[] = {
+        {"SFC only (existence tier)", ycsb::SystemKind::kSphinx, 0},
+        {"PEC only (location tier)", ycsb::SystemKind::kSphinxNoFilter,
+         budget * 95 / 100},
+        {"SFC + PEC (70% / 25%)", ycsb::SystemKind::kSphinx,
+         ycsb::kAutoPecBudget},
+    };
+    for (const Variant& v : variants) {
+      const ycsb::RunResult r = run_one(v.kind, num_keys, keys, 'C', workers,
+                                        ops, true, budget, v.pec_budget);
+      table.add_row(
+          {v.name, TablePrinter::fmt_mops(r.ops_per_sec),
+           TablePrinter::fmt_double(r.rtts_per_op),
+           TablePrinter::fmt_double(static_cast<double>(r.net.messages) /
+                                    static_cast<double>(r.total_ops)),
+           TablePrinter::fmt_double(r.read_bytes_per_op, 0)});
     }
     table.print();
     std::cout << "\n";

@@ -10,18 +10,62 @@
 //   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
 //              [--faults=0.02] [--fault-seed=42]
+//              [--json=out.json] [--pec-budget=<bytes>] [--no-pec]
 //
 // --faults=<rate> installs the standard background fault schedule
 // (rdma/fault_injector.h) on the fabric for the measured phases: per-verb
 // congestion delays with probability <rate>, plus proportionally rarer
 // stalls and CAS race losses. Load and warmup stay fault-free. Per-fault
 // counters are reported per system; --fault-seed makes a run replayable.
+//
+// --json=<path> additionally writes one machine-readable record per
+// (system, dataset, workload) -- throughput, RTTs/op, read bytes/op and
+// mean latency -- for regression tracking (see BENCH_seed.json).
+// --pec-budget=<bytes> overrides the Sphinx prefix-entry-cache budget
+// (default: 25% of the CN cache budget); --no-pec disables the PEC,
+// reproducing the seed SFC-only configuration.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.h"
 
 namespace sphinx::bench {
 namespace {
+
+// One --json record. Fields mirror the stderr per-workload lines so the
+// two outputs can be cross-checked.
+struct JsonRecord {
+  std::string system;
+  std::string dataset;
+  std::string workload;
+  double ops_per_sec;
+  double rtts_per_op;
+  double read_bytes_per_op;
+  double mean_latency_ns;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open --json path: " << path << "\n";
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const JsonRecord& r = recs[i];
+    std::ostringstream line;
+    line.precision(6);
+    line << "  {\"system\": \"" << r.system << "\", \"dataset\": \""
+         << r.dataset << "\", \"workload\": \"" << r.workload
+         << "\", \"ops_per_sec\": " << std::fixed << r.ops_per_sec
+         << ", \"rtts_per_op\": " << r.rtts_per_op
+         << ", \"read_bytes_per_op\": " << r.read_bytes_per_op
+         << ", \"mean_latency_ns\": " << r.mean_latency_ns << "}";
+    out << line.str() << (i + 1 < recs.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+}
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -33,6 +77,15 @@ int run(int argc, char** argv) {
   const bool warmup = flags.get_bool("warmup", true);
   const double fault_rate = flags.get_double("faults", 0.0);
   const uint64_t fault_seed = flags.get_u64("fault-seed", 42);
+  const std::string json_path = flags.get_string("json", "");
+  // PEC sizing: --no-pec wins, then an explicit --pec-budget in bytes,
+  // else the default 25% carve-out (ycsb::SystemSetup).
+  const uint64_t pec_budget =
+      flags.get_bool("no-pec", false)
+          ? 0
+          : flags.has("pec-budget") ? flags.get_u64("pec-budget", 0)
+                                    : ycsb::kAutoPecBudget;
+  std::vector<JsonRecord> json_records;
 
   std::cout << "# Fig. 4 -- YCSB throughput, " << num_keys
             << " loaded keys, " << workers << " workers x " << ops_per_worker
@@ -60,7 +113,8 @@ int run(int argc, char** argv) {
     int sys_col = 0;
     for (const ycsb::SystemKind kind : paper_systems()) {
       auto cluster = make_cluster(pool);
-      ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys));
+      ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys),
+                              pec_budget);
       ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
       runner.load(num_keys, 64);
       std::cerr << "[" << ycsb::dataset_name(dataset) << "] loaded "
@@ -98,6 +152,13 @@ int run(int argc, char** argv) {
                   << TablePrinter::fmt_mops(result.ops_per_sec) << " ("
                   << TablePrinter::fmt_double(result.rtts_per_op) << " rtt/op, "
                   << result.latency.summary() << ")\n";
+        if (!json_path.empty()) {
+          json_records.push_back({setup.name(),
+                                  ycsb::dataset_name(dataset),
+                                  result.workload, result.ops_per_sec,
+                                  result.rtts_per_op, result.read_bytes_per_op,
+                                  result.mean_latency_ns});
+        }
         row++;
       }
       if (injector) {
@@ -120,6 +181,11 @@ int run(int argc, char** argv) {
     std::cout << "## dataset: " << ycsb::dataset_name(dataset) << "\n";
     table.print();
     std::cout << "\n";
+  }
+  if (!json_path.empty()) {
+    write_json(json_path, json_records);
+    std::cerr << "wrote " << json_records.size() << " records to "
+              << json_path << "\n";
   }
   return 0;
 }

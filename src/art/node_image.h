@@ -106,7 +106,11 @@ class InnerImage {
   InnerImage grown_copy(NodeType new_type) const;
 
  private:
-  std::array<uint64_t, 3 + 256> words_{};
+  // Deliberately not zero-initialized: a default-constructed image is
+  // always filled by a fetch or by create()/grown_copy() (which zero
+  // exactly the slots their type uses) before any accessor runs, and
+  // zeroing 2 KiB per fetched node dominated the host-side hot path.
+  std::array<uint64_t, 3 + 256> words_;
 };
 
 // A fetched leaf. buf_ holds units * 64 bytes.

@@ -66,23 +66,37 @@ bool RemoteTree::read_leaf(rdma::GlobalAddr addr, uint32_t units,
   return false;
 }
 
-RemoteTree::Descent RemoteTree::descend(const TerminatedKey& key,
-                                        bool allow_custom_start) {
-  Descent d;
+RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
+                                         bool allow_custom_start) {
+  // Reuse the member scratch: path entries carry multi-KiB node images, so
+  // building them in place (and keeping the vector's capacity across
+  // operations) keeps the per-op hot path allocation- and memcpy-free.
+  Descent& d = descent_;
+  d.status = DescendStatus::kNeedRetry;
+  d.from_custom_start = false;
+  d.path.clear();
+  d.leaf_addr = rdma::GlobalAddr();
+  d.cpl = 0;
+
   begin_descend();
-  PathEntry cur;
-  if (allow_custom_start && find_start(key, &cur)) {
+  d.path.emplace_back();
+  if (allow_custom_start && find_start(key, &d.path.back())) {
     d.from_custom_start = true;
   } else {
-    cur.addr = ref_.root;
-    cur.parent_depth = 0;
-    if (!fetch_inner(ref_.root, NodeType::kN256, &cur.image)) {
+    PathEntry& start = d.path.back();
+    start.addr = ref_.root;
+    start.parent_depth = 0;
+    start.taken_slot = -1;
+    start.taken_word = 0;
+    if (!fetch_inner(ref_.root, NodeType::kN256, &start.image)) {
+      d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
       return d;
     }
   }
 
   for (uint32_t level = 0; level < kMaxKeyLen; ++level) {
+    PathEntry& cur = d.path.back();
     endpoint_.advance_local(
         config_.local_ns_per_node +
         static_cast<uint64_t>(cur.image.size_bytes() /
@@ -90,7 +104,8 @@ RemoteTree::Descent RemoteTree::descend(const TerminatedKey& key,
 
     if (cur.image.status() == NodeStatus::kInvalid) {
       stats_.invalid_node_retries++;
-      invalidate_inner(cur.addr);
+      invalidate_inner(cur.addr, cur.image);
+      d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
       return d;
     }
@@ -98,7 +113,6 @@ RemoteTree::Descent RemoteTree::descend(const TerminatedKey& key,
     if (depth >= key.size() || !cur.image.frag_consistent(key,
                                                           cur.parent_depth)) {
       cur.taken_slot = -1;
-      d.path.push_back(std::move(cur));
       d.status = DescendStatus::kFragMismatch;
       return d;
     }
@@ -108,19 +122,17 @@ RemoteTree::Descent RemoteTree::descend(const TerminatedKey& key,
     const int idx = cur.image.find_pkey(branch);
     if (idx < 0) {
       cur.taken_slot = -1;
-      d.path.push_back(std::move(cur));
       d.status = DescendStatus::kNoSlot;
       return d;
     }
     const uint64_t slot_word = cur.image.slot(static_cast<uint32_t>(idx));
     cur.taken_slot = idx;
     cur.taken_word = slot_word;
-    d.path.push_back(std::move(cur));
 
     if (slot_is_leaf(slot_word)) {
       d.leaf_addr = slot_addr(slot_word);
       if (!read_leaf(d.leaf_addr, slot_leaf_units(slot_word), &d.leaf)) {
-        invalidate_inner(d.path.back().addr);
+        invalidate_inner(d.path.back().addr, d.path.back().image);
         d.status = DescendStatus::kNeedRetry;
         return d;
       }
@@ -138,22 +150,27 @@ RemoteTree::Descent RemoteTree::descend(const TerminatedKey& key,
       return d;
     }
 
-    PathEntry child;
+    d.path.emplace_back();
+    PathEntry& child = d.path.back();
     child.addr = slot_addr(slot_word);
     child.parent_depth = depth;
+    child.taken_slot = -1;
+    child.taken_word = 0;
     if (!fetch_inner(child.addr, slot_child_type(slot_word), &child.image)) {
+      d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
       return d;
     }
     if (child.image.type() != slot_child_type(slot_word) ||
         child.image.depth() <= depth) {
       // Stale slot (node switched or memory inconsistent): retry.
-      invalidate_inner(child.addr);
-      invalidate_inner(d.path.back().addr);
+      invalidate_inner(child.addr, child.image);
+      const PathEntry& parent = d.path[d.path.size() - 2];
+      invalidate_inner(parent.addr, parent.image);
+      d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
       return d;
     }
-    cur = std::move(child);
   }
   d.status = DescendStatus::kNeedRetry;
   return d;
@@ -166,7 +183,7 @@ bool RemoteTree::search(Slice key, std::string* value_out) {
   bool allow_custom = true;
   for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
     retry_backoff(r);
-    Descent d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
         if (value_out != nullptr) {
@@ -226,7 +243,7 @@ bool RemoteTree::insert(Slice key, Slice value) {
   bool allow_custom = true;
   for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
     retry_backoff(r);
-    Descent d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
         return false;  // key exists; no modification
@@ -251,8 +268,10 @@ bool RemoteTree::insert(Slice key, Slice value) {
         break;
       }
       case DescendStatus::kLeafMismatch: {
-        const std::string existing(d.leaf.key().data(), d.leaf.key().size());
-        if (insert_split(tkey, value, d, Slice(existing))) return true;
+        existing_key_scratch_.assign(d.leaf.key().data(), d.leaf.key().size());
+        if (insert_split(tkey, value, d, Slice(existing_key_scratch_))) {
+          return true;
+        }
         if (d.from_custom_start &&
             d.path.front().image.depth() > d.cpl) {
           stats_.start_fallbacks++;
@@ -606,7 +625,7 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   fresh_p.set_header(seen_p);
   note_inner_write(parent.addr, fresh_p);
   note_inner_write(grown_addr, grown);
-  invalidate_inner(node.addr);
+  invalidate_inner(node.addr, fresh_n);
   on_inner_switched(fresh_n, node.addr, grown, grown_addr);
   stats_.type_switches++;
   return true;
@@ -652,7 +671,7 @@ bool RemoteTree::update(Slice key, Slice value) {
   bool allow_custom = true;
   for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
     retry_backoff(r);
-    Descent d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();
@@ -784,7 +803,7 @@ bool RemoteTree::remove(Slice key) {
   bool allow_custom = true;
   for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
     retry_backoff(r);
-    Descent d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();

@@ -173,6 +173,15 @@ class RemoteTree : public KvIndex {
   // A node observed to be stale/invalid (cache eviction hint).
   virtual void invalidate_inner(rdma::GlobalAddr addr) { (void)addr; }
 
+  // Same, for call sites that still hold the stale node's image (Sphinx
+  // purges its prefix entry cache by the image's prefix hash). Defaults to
+  // the address-only hook so existing overrides keep working.
+  virtual void invalidate_inner(rdma::GlobalAddr addr,
+                                const InnerImage& image) {
+    (void)image;
+    invalidate_inner(addr);
+  }
+
   // Caching-subclass coordination: descend() calls begin_descend() before
   // its first fetch; a subclass reports through descent_used_cache()
   // whether any node image came from a local cache, in which case a
@@ -187,7 +196,10 @@ class RemoteTree : public KvIndex {
   // Reads + checksum-validates a leaf, retrying torn images.
   bool read_leaf(rdma::GlobalAddr addr, uint32_t units, LeafImage* out);
 
-  Descent descend(const TerminatedKey& key, bool allow_custom_start);
+  // Returns a reference to per-instance scratch (descent_): each call
+  // invalidates the previous result. Node images are multi-KiB, so reusing
+  // the path vector across operations keeps the hot path allocation-free.
+  Descent& descend(const TerminatedKey& key, bool allow_custom_start);
 
   // Memory node placement (consistent hashing, Sec. III).
   uint32_t mn_for_prefix(uint64_t hash) const {
@@ -202,6 +214,11 @@ class RemoteTree : public KvIndex {
   TreeStats stats_;
 
  private:
+  // Per-operation scratch returned by descend(); see the declaration.
+  Descent descent_;
+  // Scratch for insert()'s mismatched-leaf key (avoids a per-retry copy).
+  std::string existing_key_scratch_;
+
   // Creates + remotely writes a leaf; returns its address and slot word.
   struct NewLeaf {
     rdma::GlobalAddr addr;

@@ -12,11 +12,32 @@ SphinxRefs create_sphinx(mem::Cluster& cluster, uint8_t inht_initial_depth) {
 SphinxIndex::SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
                          mem::RemoteAllocator& allocator,
                          const SphinxRefs& refs, filter::CuckooFilter* filter,
+                         filter::PrefixEntryCache* pec,
                          const SphinxConfig& config)
     : RemoteTree(cluster, endpoint, allocator, refs.tree, config.tree),
       inht_(cluster, endpoint, allocator, refs.inht),
       filter_(config.use_filter ? filter : nullptr),
+      pec_(config.use_pec ? pec : nullptr),
       config_(config) {}
+
+bool SphinxIndex::validate_start(uint32_t len, uint64_t hash,
+                                 art::NodeType type, rdma::GlobalAddr addr,
+                                 PathEntry* out) {
+  // Verify the fetched node against the entry's metadata and the full
+  // prefix hash stored in its header. (The paper uses a 12-bit fp2 plus a
+  // 42-bit header hash; the node header here carries the full 64-bit
+  // prefix hash, so surviving collisions are negligible and the leaf-level
+  // common-prefix check in RemoteTree remains the last line of defense.)
+  if (out->image.status() == art::NodeStatus::kInvalid) return false;
+  if (out->image.type() != type) return false;
+  if (out->image.depth() != len) return false;
+  if (out->image.prefix_hash_full() != hash) return false;
+  out->addr = addr;
+  out->parent_depth = len;  // empty fragment window: prefix hash-verified
+  out->taken_slot = -1;
+  out->taken_word = 0;
+  return true;
+}
 
 bool SphinxIndex::adopt_candidate(uint32_t len, uint64_t hash,
                                   const std::vector<uint64_t>& payloads,
@@ -24,24 +45,67 @@ bool SphinxIndex::adopt_candidate(uint32_t len, uint64_t hash,
   for (uint64_t payload : payloads) {
     const art::NodeType type = inht_payload_type(payload);
     const rdma::GlobalAddr addr = inht_payload_addr(payload);
-    // One round trip: fetch the candidate node and verify it against the
-    // hash entry's metadata and the full prefix hash stored in its header.
-    // (The paper uses a 12-bit fp2 plus a 42-bit header hash; the node
-    // header here carries the full 64-bit prefix hash, so surviving
-    // collisions are negligible and the leaf-level common-prefix check in
-    // RemoteTree remains the last line of defense.)
+    // One round trip: fetch the candidate node and verify it.
     if (!RemoteTree::fetch_inner(addr, type, &out->image)) continue;
-    if (out->image.status() == art::NodeStatus::kInvalid) continue;
-    if (out->image.type() != type) continue;
-    if (out->image.depth() != len) continue;
-    if (out->image.prefix_hash_full() != hash) continue;
-    out->addr = addr;
-    out->parent_depth = len;  // empty fragment window: prefix hash-verified
-    out->taken_slot = -1;
-    out->taken_word = 0;
+    if (!validate_start(len, hash, type, addr, out)) continue;
+    // Cache the verified entry so the next search for this prefix skips
+    // the INHT read (the 2-RTT path).
+    if (pec_ != nullptr) pec_->insert(hash, pack_inht_payload(type, addr));
     return true;
   }
   return false;
+}
+
+bool SphinxIndex::try_start_at(uint32_t len, uint64_t hash, bool inht_on_miss,
+                               PathEntry* out) {
+  bool probe_inht = inht_on_miss;
+  if (pec_ != nullptr) {
+    endpoint_.advance_local(config_.pec_probe_ns);
+    uint64_t payload = 0;
+    bool hot = false;
+    if (pec_->lookup(hash, &payload, &hot)) {
+      sstats_.pec_hits++;
+      const art::NodeType type = inht_payload_type(payload);
+      const rdma::GlobalAddr addr = inht_payload_addr(payload);
+      if (hot || !config_.pec_speculative_fusion) {
+        // High confidence: one speculative node read (the 2-RTT search).
+        if (RemoteTree::fetch_inner(addr, type, &out->image) &&
+            validate_start(len, hash, type, addr, out)) {
+          return true;
+        }
+        sstats_.pec_stale++;
+        pec_->invalidate_if(hash, addr.to48());
+        probe_inht = true;  // the prefix existed recently; re-resolve it
+      } else {
+        // Low confidence (cold entry): hedge by fusing the speculative node
+        // read with the INHT group read in one doorbell batch. A fresh
+        // entry wins outright; a stale one already has the group in hand,
+        // so recovery costs zero extra round trips.
+        const race::RaceClient::Probe probe = inht_.plan_probe(hash);
+        rdma::DoorbellBatch batch(endpoint_);
+        batch.add_read(addr, out->image.raw(), art::inner_node_bytes(type));
+        batch.add_read(probe.group_addr, fused_group_.data(),
+                       race::kGroupBytes);
+        batch.execute();
+        if (validate_start(len, hash, type, addr, out)) {
+          sstats_.speculative_wins++;
+          return true;
+        }
+        sstats_.speculative_losses++;
+        sstats_.pec_stale++;
+        pec_->invalidate_if(hash, addr.to48());
+        payload_scratch_.clear();
+        race::RaceClient::match_group(hash, fused_group_.data(),
+                                      payload_scratch_);
+        return adopt_candidate(len, hash, payload_scratch_, out);
+      }
+    }
+  }
+  if (!probe_inht) return false;
+  // Single-prefix INHT lookup: one round trip (Sec. III-B).
+  payload_scratch_.clear();
+  inht_.search(hash, payload_scratch_);
+  return adopt_candidate(len, hash, payload_scratch_, out);
 }
 
 bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
@@ -56,15 +120,13 @@ bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
   endpoint_.advance_local(config_.prefix_hash_ns * (len - 1));
 
   if (filter_ != nullptr) {
-    // Longest prefix present in the succinct filter cache -> read exactly
-    // one hash entry (Sec. III-B).
+    // Longest prefix present in the succinct filter cache -> PEC probe,
+    // then at most one hash-entry read (Sec. III-B).
     for (uint32_t l = len - 1; l >= 1; --l) {
       endpoint_.advance_local(config_.filter_probe_ns);
       if (!filter_->contains(hash_scratch_[l])) continue;
       sstats_.filter_hits++;
-      payload_scratch_.clear();
-      inht_.search(hash_scratch_[l], payload_scratch_);
-      if (adopt_candidate(l, hash_scratch_[l], payload_scratch_, out)) {
+      if (try_start_at(l, hash_scratch_[l], /*inht_on_miss=*/true, out)) {
         sstats_.start_successes++;
         return true;
       }
@@ -72,26 +134,34 @@ bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
       // in the paper's false-positive recovery.
       sstats_.fp_rejects++;
     }
+  } else if (pec_ != nullptr) {
+    // PEC-only ablation (no filter): the entry cache doubles as the
+    // existence hint. Misses cost nothing remotely; the parallel INHT
+    // read below stays the backstop.
+    for (uint32_t l = len - 1; l >= 1; --l) {
+      if (try_start_at(l, hash_scratch_[l], /*inht_on_miss=*/false, out)) {
+        sstats_.start_successes++;
+        return true;
+      }
+    }
   }
 
   // Parallel INHT read: the hash entries of all prefixes in one
   // doorbell-batched round trip (Sec. III-A).
   sstats_.parallel_fallbacks++;
-  struct GroupBuf {
-    uint64_t words[race::kSlotsPerGroup];
-  };
-  std::vector<GroupBuf> groups(len);
+  group_scratch_.resize(len);
   {
     rdma::DoorbellBatch batch(endpoint_);
     for (uint32_t l = 1; l < len; ++l) {
       const race::RaceClient::Probe probe = inht_.plan_probe(hash_scratch_[l]);
-      batch.add_read(probe.group_addr, groups[l].words, sizeof(GroupBuf));
+      batch.add_read(probe.group_addr, group_scratch_[l].data(),
+                     race::kGroupBytes);
     }
     batch.execute();
   }
   for (uint32_t l = len - 1; l >= 1; --l) {
     payload_scratch_.clear();
-    race::RaceClient::match_group(hash_scratch_[l], groups[l].words,
+    race::RaceClient::match_group(hash_scratch_[l], group_scratch_[l].data(),
                                   payload_scratch_);
     if (payload_scratch_.empty()) continue;
     if (adopt_candidate(l, hash_scratch_[l], payload_scratch_, out)) {

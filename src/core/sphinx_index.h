@@ -1,24 +1,34 @@
 // SphinxIndex: the paper's hybrid index. An adaptive radix tree on
 // disaggregated memory whose inner nodes are additionally indexed by the
 // Inner Node Hash Table (Sec. III-A), fronted on each compute node by a
-// Succinct Filter Cache (Sec. III-B).
+// Succinct Filter Cache (Sec. III-B) and a Prefix Entry Cache.
 //
 // Search path (Sec. IV): hash all prefixes of the key locally, find the
 // longest prefix present in the filter cache, read that prefix's hash
 // entry (1 RTT), read the inner node it points to (1 RTT), then descend --
 // normally straight to the leaf (1 RTT): three round trips end to end.
+// The Prefix Entry Cache (filter/prefix_entry_cache.h) removes the first
+// hop on a hit: it caches the 8-byte hash entry itself, so the node read
+// starts immediately and a search costs two round trips. Cached entries
+// are hints only -- every fetched node is re-verified (type, depth, full
+// prefix hash, status), and stale entries are purged on validation failure.
+// Cold (low-confidence) entries are hedged with speculative doorbell
+// fusion: the node read and the INHT group read issue in one batch, so a
+// stale entry costs zero extra round trips.
 // Filter misses fall back to reading the hash entries of *all* prefixes in
 // one doorbell-batched round trip (the Theta(L)-bandwidth base mechanism);
 // hash-table misses fall back to a plain root-to-leaf traversal, which also
 // repopulates the filter via on_visit_inner().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "art/remote_tree.h"
 #include "core/inht.h"
 #include "filter/cuckoo_filter.h"
+#include "filter/prefix_entry_cache.h"
 
 namespace sphinx::core {
 
@@ -26,8 +36,17 @@ struct SphinxConfig {
   // Ablation A1: when false the filter cache is skipped entirely and every
   // operation uses the parallel multi-entry INHT read.
   bool use_filter = true;
+  // Ablation A4: when false the prefix entry cache is skipped and filter
+  // hits always pay the INHT hash-entry read.
+  bool use_pec = true;
+  // When true, a cold PEC hit fuses the speculative node read with the
+  // INHT group read in one doorbell batch (stale entry = 0 extra RTTs).
+  // When false, cold hits behave like hot ones: node read only, with a
+  // serial INHT read on validation failure.
+  bool pec_speculative_fusion = true;
   // CPU cost model for the CN-local work unique to Sphinx.
   uint64_t filter_probe_ns = 15;
+  uint64_t pec_probe_ns = 15;
   uint64_t prefix_hash_ns = 25;
   art::TreeConfig tree;
 };
@@ -49,16 +68,22 @@ struct SphinxStats {
   uint64_t root_fallbacks = 0;     // find_start gave up -> root traversal
   uint64_t inht_update_misses = 0; // type-switch entry CAS lost a race
   uint64_t inht_insert_fails = 0;  // INHT insert gave up (table full / faults)
+  uint64_t pec_hits = 0;           // prefix entry cache had a payload
+  uint64_t pec_stale = 0;          // cached payload failed node validation
+  uint64_t speculative_wins = 0;   // fused cold-hit read validated
+  uint64_t speculative_losses = 0; // fused read stale; group rescued the op
 };
 
 class SphinxIndex final : public art::RemoteTree {
  public:
   // `filter` is the CN-wide succinct filter cache shared by every worker of
   // this compute node; pass nullptr to run INHT-only (equivalent to
-  // use_filter = false).
+  // use_filter = false). `pec` is the CN-wide prefix entry cache, likewise
+  // shared and likewise optional.
   SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
               mem::RemoteAllocator& allocator, const SphinxRefs& refs,
               filter::CuckooFilter* filter,
+              filter::PrefixEntryCache* pec = nullptr,
               const SphinxConfig& config = SphinxConfig());
 
   const char* name() const override { return "Sphinx"; }
@@ -66,6 +91,7 @@ class SphinxIndex final : public art::RemoteTree {
   const SphinxStats& sphinx_stats() const { return sstats_; }
   InhtClient& inht() { return inht_; }
   filter::CuckooFilter* filter() { return filter_; }
+  filter::PrefixEntryCache* pec() { return pec_; }
 
  protected:
   bool find_start(const art::TerminatedKey& key, PathEntry* out) override;
@@ -92,6 +118,10 @@ class SphinxIndex final : public art::RemoteTree {
       sstats_.inht_insert_fails++;
     }
     if (filter_ != nullptr) filter_->insert(image.prefix_hash_full());
+    if (pec_ != nullptr) {
+      pec_->insert(image.prefix_hash_full(),
+                   pack_inht_payload(image.type(), addr));
+    }
   }
 
   void on_inner_switched(const art::InnerImage& old_image,
@@ -107,21 +137,54 @@ class SphinxIndex final : public art::RemoteTree {
       inht_.insert(hash, new_image.type(), new_addr);
     }
     // The filter is untouched: the node's full prefix -- the only thing the
-    // filter tracks -- is unchanged by a type switch (Sec. III-B).
+    // filter tracks -- is unchanged by a type switch (Sec. III-B). The PEC
+    // caches the *entry*, which did change: refresh it in place so this
+    // CN's next search for the prefix goes straight to the new node.
+    if (pec_ != nullptr) {
+      pec_->insert(hash, pack_inht_payload(new_image.type(), new_addr));
+    }
+  }
+
+  // A node observed stale with its image in hand: purge the PEC entry for
+  // its prefix, but only if it still names this address (a concurrent
+  // refresh with the successor node's address must survive).
+  void invalidate_inner(rdma::GlobalAddr addr,
+                        const art::InnerImage& image) override {
+    if (pec_ != nullptr) {
+      pec_->invalidate_if(image.prefix_hash_full(), addr.to48());
+    }
   }
 
  private:
+  // Validates the node freshly fetched into out->image against what the
+  // hash entry (or PEC) claimed, completing *out on success. Shared by the
+  // INHT candidate loop and the PEC speculative paths.
+  bool validate_start(uint32_t len, uint64_t hash, art::NodeType type,
+                      rdma::GlobalAddr addr, PathEntry* out);
+
   // Validates INHT candidates for prefix length `len` and fills *out with
-  // the first verified node.
+  // the first verified node (feeding the PEC on success).
   bool adopt_candidate(uint32_t len, uint64_t hash,
                        const std::vector<uint64_t>& payloads, PathEntry* out);
 
+  // One shortcut attempt at prefix length `len`: PEC probe (speculative
+  // node read, doorbell-fused with the INHT group read when the entry is
+  // cold), then -- on a PEC miss with `inht_on_miss`, or after a stale hot
+  // entry -- the INHT hash-entry read.
+  bool try_start_at(uint32_t len, uint64_t hash, bool inht_on_miss,
+                    PathEntry* out);
+
   InhtClient inht_;
   filter::CuckooFilter* filter_;
+  filter::PrefixEntryCache* pec_;
   SphinxConfig config_;
   SphinxStats sstats_;
   std::vector<uint64_t> hash_scratch_;
   std::vector<uint64_t> payload_scratch_;
+  // Per-descent scratch for the parallel multi-prefix INHT read and the
+  // fused speculative read (reused across operations; no per-op allocs).
+  std::vector<std::array<uint64_t, race::kSlotsPerGroup>> group_scratch_;
+  std::array<uint64_t, race::kSlotsPerGroup> fused_group_;
 };
 
 }  // namespace sphinx::core

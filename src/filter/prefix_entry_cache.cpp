@@ -1,0 +1,161 @@
+#include "filter/prefix_entry_cache.h"
+
+#include <bit>
+
+namespace sphinx::filter {
+
+namespace {
+
+uint64_t round_up_pow2(uint64_t v) {
+  if (v < 2) return 2;
+  return std::bit_ceil(v);
+}
+
+}  // namespace
+
+std::unique_ptr<PrefixEntryCache> PrefixEntryCache::with_budget(
+    uint64_t budget_bytes) {
+  const uint64_t slots = budget_bytes / kSlotBytes;
+  uint64_t sets = slots / kWays;
+  if (sets < 2) sets = 2;
+  // Round *down* to a power of two so the cache never exceeds the budget.
+  const uint64_t up = round_up_pow2(sets);
+  return std::make_unique<PrefixEntryCache>(up > sets ? up / 2 : up);
+}
+
+PrefixEntryCache::PrefixEntryCache(uint64_t num_sets)
+    : num_sets_(round_up_pow2(num_sets)),
+      slots_(std::make_unique<Slot[]>(num_sets_ * kWays)) {
+  for (uint64_t i = 0; i < num_sets_ * kWays; ++i) {
+    slots_[i].tag.store(0, std::memory_order_relaxed);
+    slots_[i].payload.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool PrefixEntryCache::lookup(uint64_t prefix_hash, uint64_t* payload_out,
+                              bool* was_hot) {
+  const uint64_t tag = tag_of(prefix_hash);
+  Slot* set = set_of(set_index(prefix_hash));
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if (set[w].tag.load(std::memory_order_relaxed) != tag) continue;
+    const uint64_t p = set[w].payload.load(std::memory_order_relaxed);
+    // payload 0 = claimed-but-unset (insert in flight) or just invalidated.
+    if ((p & ~kHotBit) == 0) continue;
+    *payload_out = p & ~kHotBit;
+    *was_hot = (p & kHotBit) != 0;
+    if (!*was_hot) set[w].payload.fetch_or(kHotBit, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PrefixEntryCache::insert(uint64_t prefix_hash, uint64_t payload) {
+  const uint64_t tag = tag_of(prefix_hash);
+  Slot* set = set_of(set_index(prefix_hash));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  // Refresh in place: a type switch replaced the payload for this prefix.
+  // Hotness carries over -- the *prefix* is hot, not the stale address.
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if (set[w].tag.load(std::memory_order_relaxed) != tag) continue;
+    const uint64_t old = set[w].payload.load(std::memory_order_relaxed);
+    set[w].payload.store(payload | (old & kHotBit),
+                         std::memory_order_relaxed);
+    return;
+  }
+
+  // Claim an empty way. The payload is published after the tag, so a racing
+  // lookup between the two stores sees payload 0 and reports a miss.
+  for (uint32_t w = 0; w < kWays; ++w) {
+    uint64_t expected = 0;
+    if (set[w].tag.load(std::memory_order_relaxed) == 0 &&
+        set[w].tag.compare_exchange_strong(expected, tag,
+                                           std::memory_order_relaxed)) {
+      set[w].payload.store(payload, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Second chance: replace a random cold victim (paper Sec. III-B, applied
+  // to entries instead of fingerprints).
+  uint32_t cold[kWays];
+  uint32_t n = 0;
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if ((set[w].payload.load(std::memory_order_relaxed) & kHotBit) == 0) {
+      cold[n++] = w;
+    }
+  }
+  uint32_t victim;
+  if (n > 0) {
+    victim = cold[next_random() % n];
+  } else {
+    // Every way is hot: clear the set's hotness and evict a rotating way,
+    // mirroring the filter's relocation-time hotness reset.
+    for (uint32_t w = 0; w < kWays; ++w) {
+      set[w].payload.fetch_and(~kHotBit, std::memory_order_relaxed);
+    }
+    victim = static_cast<uint32_t>(next_random() % kWays);
+  }
+  // Invalidate-then-publish so no lookup ever pairs the new tag with the
+  // victim's old payload.
+  set[victim].payload.store(0, std::memory_order_relaxed);
+  set[victim].tag.store(tag, std::memory_order_relaxed);
+  set[victim].payload.store(payload, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool PrefixEntryCache::invalidate_if(uint64_t prefix_hash, uint64_t addr48) {
+  const uint64_t tag = tag_of(prefix_hash);
+  Slot* set = set_of(set_index(prefix_hash));
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if (set[w].tag.load(std::memory_order_relaxed) != tag) continue;
+    const uint64_t p = set[w].payload.load(std::memory_order_relaxed);
+    if ((p & ~kHotBit) == 0) continue;
+    if ((p & kAddrMask) != addr48) continue;  // already refreshed; keep it
+    // Payload first, tag second: a lookup racing with the two stores sees
+    // either a dead payload (miss) or a free slot, never a resurrected
+    // stale entry.
+    set[w].payload.store(0, std::memory_order_relaxed);
+    set[w].tag.store(0, std::memory_order_relaxed);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+uint64_t PrefixEntryCache::size() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < num_sets_ * kWays; ++i) {
+    if (slots_[i].tag.load(std::memory_order_relaxed) != 0 &&
+        (slots_[i].payload.load(std::memory_order_relaxed) & ~kHotBit) != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t PrefixEntryCache::next_random() {
+  return splitmix64(rng_state_.fetch_add(1, std::memory_order_relaxed));
+}
+
+PrefixEntryCacheStats PrefixEntryCache::stats() const {
+  PrefixEntryCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PrefixEntryCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sphinx::filter

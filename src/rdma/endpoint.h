@@ -124,7 +124,7 @@ class Endpoint {
         *observed = fabric_.region(addr.mn()).load64(addr.offset());
       }
       charge_single(addr.mn(), 8, /*is_read=*/false);
-      stats_.cas++;
+      if (metered_) stats_.cas++;
       return false;
     }
     const bool ok =

@@ -27,6 +27,20 @@ struct EndpointStats {
   uint64_t verbs() const { return reads + writes + cas + faa; }
   uint64_t bytes_total() const { return bytes_read + bytes_written; }
 
+  // True when no counter has moved. Unmetered endpoints (bootstrap and
+  // loading paths) must keep this true for their whole lifetime, even
+  // under fault injection; test_fault_injection.cpp asserts it.
+  bool all_zero() const {
+    if (verbs() != 0 || round_trips != 0 || bytes_total() != 0 ||
+        messages != 0) {
+      return false;
+    }
+    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
+      if (msgs_per_mn[i] != 0 || bytes_per_mn[i] != 0) return false;
+    }
+    return true;
+  }
+
   EndpointStats& operator+=(const EndpointStats& o) {
     reads += o.reads;
     writes += o.writes;

@@ -24,27 +24,47 @@ const char* system_kind_name(SystemKind kind) {
 }
 
 SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
-                         uint64_t cache_budget_bytes)
+                         uint64_t cache_budget_bytes,
+                         uint64_t pec_budget_bytes)
     : kind_(kind), cluster_(cluster), name_(system_kind_name(kind)) {
   const uint32_t num_cns = cluster.config().num_cns;
   switch (kind) {
-    case SystemKind::kSphinx:
+    case SystemKind::kSphinx: {
       sphinx_refs_ = std::make_unique<core::SphinxRefs>(
           core::create_sphinx(cluster));
       tree_ref_ = sphinx_refs_->tree;
+      // Split one CN cache budget across the two tiers: by default the
+      // filter keeps 70%, the prefix entry cache takes 25%, and ~5% stays
+      // reserved for the INHT directory caches (the paper sizes those at
+      // 2-5% of the filter budget). With the PEC disabled the filter gets
+      // its original 95% share, reproducing the seed configuration.
+      const uint64_t pec_bytes = pec_budget_bytes == kAutoPecBudget
+                                     ? cache_budget_bytes * 25 / 100
+                                     : pec_budget_bytes;
+      const uint64_t filter_bytes = pec_bytes == 0
+                                        ? cache_budget_bytes * 95 / 100
+                                        : cache_budget_bytes * 70 / 100;
       for (uint32_t cn = 0; cn < num_cns; ++cn) {
-        // The directory caches of the INHT clients live beside the filter;
-        // the paper sizes them at 2-5% of the filter budget, so the filter
-        // gets the budget minus that reserve.
-        filters_.push_back(
-            filter::CuckooFilter::with_budget(cache_budget_bytes * 95 / 100));
+        filters_.push_back(filter::CuckooFilter::with_budget(filter_bytes));
+        if (pec_bytes > 0) {
+          pecs_.push_back(filter::PrefixEntryCache::with_budget(pec_bytes));
+        }
       }
       break;
-    case SystemKind::kSphinxNoFilter:
+    }
+    case SystemKind::kSphinxNoFilter: {
       sphinx_refs_ = std::make_unique<core::SphinxRefs>(
           core::create_sphinx(cluster));
       tree_ref_ = sphinx_refs_->tree;
+      // Auto means "pure INHT" here (the A1 ablation baseline); an explicit
+      // budget yields the PEC-only variant of the two-tier ablation.
+      const uint64_t pec_bytes =
+          pec_budget_bytes == kAutoPecBudget ? 0 : pec_budget_bytes;
+      for (uint32_t cn = 0; cn < num_cns && pec_bytes > 0; ++cn) {
+        pecs_.push_back(filter::PrefixEntryCache::with_budget(pec_bytes));
+      }
       break;
+    }
     case SystemKind::kSmart:
     case SystemKind::kSmartC:
       tree_ref_ = art::create_tree(cluster);
@@ -67,12 +87,14 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
   switch (kind_) {
     case SystemKind::kSphinx:
       return std::make_unique<core::SphinxIndex>(
-          cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get());
+          cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get(),
+          pec(cn));
     case SystemKind::kSphinxNoFilter: {
       core::SphinxConfig config;
       config.use_filter = false;
       return std::make_unique<core::SphinxIndex>(
-          cluster_, endpoint, allocator, *sphinx_refs_, nullptr, config);
+          cluster_, endpoint, allocator, *sphinx_refs_, nullptr, pec(cn),
+          config);
     }
     case SystemKind::kSmart:
     case SystemKind::kSmartC:
@@ -98,13 +120,17 @@ IndexFactory SystemSetup::factory() {
 }
 
 uint64_t SystemSetup::cn_cache_bytes(uint32_t cn) const {
+  uint64_t total = 0;
   if (cn < filters_.size() && filters_[cn]) {
-    return filters_[cn]->memory_bytes();
+    total += filters_[cn]->memory_bytes();
+  }
+  if (cn < pecs_.size() && pecs_[cn]) {
+    total += pecs_[cn]->memory_bytes();
   }
   if (cn < caches_.size() && caches_[cn]) {
-    return caches_[cn]->bytes_used();
+    total += caches_[cn]->bytes_used();
   }
-  return 0;
+  return total;
 }
 
 }  // namespace sphinx::ycsb

@@ -11,6 +11,7 @@
 #include "bptree/bptree.h"
 #include "core/sphinx_index.h"
 #include "filter/cuckoo_filter.h"
+#include "filter/prefix_entry_cache.h"
 #include "smart/node_cache.h"
 #include "ycsb/runner.h"
 
@@ -32,6 +33,10 @@ constexpr uint64_t kDefaultCacheBudget = 20ull << 20;   // 20 MB
 constexpr uint64_t kLargeCacheBudget = 200ull << 20;    // 200 MB (SMART+C)
 constexpr uint64_t kPaperDatasetKeys = 60'000'000;      // paper: 60 M keys
 
+// Sentinel for SystemSetup's pec_budget_bytes: carve the default prefix
+// entry cache share out of the overall CN cache budget (Sphinx only).
+constexpr uint64_t kAutoPecBudget = ~0ull;
+
 // Scales the paper's absolute CN-side cache budget to a scaled-down
 // dataset. The paper pairs 20 MB caches with 60 M keys (4.2% of the u64
 // key bytes, 1.8% of email); keeping that *ratio* preserves the regime the
@@ -46,9 +51,16 @@ inline uint64_t scaled_cache_budget(uint64_t budget_at_paper_scale,
 class SystemSetup {
  public:
   // Creates the remote structures for `kind` on `cluster` and the per-CN
-  // shared caches sized to `cache_budget_bytes`.
+  // shared caches sized to `cache_budget_bytes`. `pec_budget_bytes`
+  // controls the Sphinx prefix entry cache: kAutoPecBudget takes the
+  // default 25% slice of the overall budget (Sphinx keeps 70% for the
+  // filter, 5% stays reserved for INHT directory caches), 0 disables the
+  // PEC (the seed SFC-only configuration), and any other value is an
+  // absolute byte budget -- e.g. the PEC-only ablation passes the whole
+  // cache budget here with kind = kSphinxNoFilter.
   SystemSetup(SystemKind kind, mem::Cluster& cluster,
-              uint64_t cache_budget_bytes = kDefaultCacheBudget);
+              uint64_t cache_budget_bytes = kDefaultCacheBudget,
+              uint64_t pec_budget_bytes = kAutoPecBudget);
 
   const std::string& name() const { return name_; }
   SystemKind kind() const { return kind_; }
@@ -64,6 +76,9 @@ class SystemSetup {
 
   filter::CuckooFilter* filter(uint32_t cn) {
     return cn < filters_.size() ? filters_[cn].get() : nullptr;
+  }
+  filter::PrefixEntryCache* pec(uint32_t cn) {
+    return cn < pecs_.size() ? pecs_[cn].get() : nullptr;
   }
   smart::NodeCache* node_cache(uint32_t cn) {
     return cn < caches_.size() ? caches_[cn].get() : nullptr;
@@ -81,8 +96,9 @@ class SystemSetup {
   art::TreeRef tree_ref_;
   bptree::BpTreeRef bptree_ref_;
   std::unique_ptr<core::SphinxRefs> sphinx_refs_;
-  std::vector<std::unique_ptr<filter::CuckooFilter>> filters_;  // per CN
-  std::vector<std::unique_ptr<smart::NodeCache>> caches_;       // per CN
+  std::vector<std::unique_ptr<filter::CuckooFilter>> filters_;      // per CN
+  std::vector<std::unique_ptr<filter::PrefixEntryCache>> pecs_;     // per CN
+  std::vector<std::unique_ptr<smart::NodeCache>> caches_;           // per CN
 };
 
 }  // namespace sphinx::ycsb

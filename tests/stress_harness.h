@@ -32,6 +32,7 @@
 
 #include "common/rng.h"
 #include "common/slice.h"
+#include "core/sphinx_index.h"
 #include "memnode/cluster.h"
 #include "rdma/fault_injector.h"
 #include "test_util.h"
@@ -52,6 +53,9 @@ struct StressOptions {
   // Number of deterministic MN-outage bursts injected mid-run (rotating
   // target MN, fixed reject budget each).
   int offline_bursts = 0;
+  // Sphinx prefix entry cache budget (kAutoPecBudget = default 25% carve,
+  // 0 = disabled); see ycsb::SystemSetup.
+  uint64_t pec_budget = ycsb::kAutoPecBudget;
 };
 
 struct StressReport {
@@ -62,6 +66,16 @@ struct StressReport {
   uint64_t total_ops = 0;
   uint64_t final_clock_ns = 0;  // sum of worker virtual clocks
   rdma::FaultStats fault_stats;
+  // Prefix-entry-cache traffic summed over Sphinx workers (zero for other
+  // systems or with the PEC disabled).
+  uint64_t pec_hits = 0;
+  uint64_t pec_stale = 0;
+  uint64_t speculative_wins = 0;
+  uint64_t speculative_losses = 0;
+  // Staleness observed by verify_quiesced's *second* pass: the first pass
+  // purged or refreshed every entry it touched, so a coherent PEC yields 0
+  // here -- stale entries self-heal instead of festering.
+  uint64_t pec_second_pass_stale = 0;
 
   bool clean() const {
     return lin_violations == 0 && scan_order_violations == 0 &&
@@ -74,7 +88,8 @@ class StressHarness {
   explicit StressHarness(const StressOptions& options)
       : options_(options),
         cluster_(make_test_cluster()),
-        setup_(options.kind, *cluster_),
+        setup_(options.kind, *cluster_, ycsb::kDefaultCacheBudget,
+               options.pec_budget),
         injector_(options.seed),
         lin_count_(static_cast<size_t>(options.threads) *
                    static_cast<size_t>(options.lin_keys_per_thread)),
@@ -117,6 +132,10 @@ class StressHarness {
                        static_cast<uint64_t>(options_.ops_per_thread);
     report.final_clock_ns = clock_sum.load();
     report.fault_stats = injector_.stats();
+    report.pec_hits = pec_hits_.load();
+    report.pec_stale = pec_stale_.load();
+    report.speculative_wins = spec_wins_.load();
+    report.speculative_losses = spec_losses_.load();
     verify_quiesced(oracles, &report);
     return report;
   }
@@ -298,6 +317,12 @@ class StressHarness {
       }
     }
     clock_sum->fetch_add(ep.clock_ns());
+    if (const auto* sx = dynamic_cast<core::SphinxIndex*>(index.get())) {
+      pec_hits_.fetch_add(sx->sphinx_stats().pec_hits);
+      pec_stale_.fetch_add(sx->sphinx_stats().pec_stale);
+      spec_wins_.fetch_add(sx->sphinx_stats().speculative_wins);
+      spec_losses_.fetch_add(sx->sphinx_stats().speculative_losses);
+    }
   }
 
   void verify_quiesced(
@@ -334,6 +359,23 @@ class StressHarness {
         }
       }
     }
+
+    // PEC self-heal: the pass above purged or refreshed every stale entry
+    // it touched (validation failure -> invalidate_if -> re-adopt), so
+    // re-reading the same keys must observe zero new staleness.
+    if (auto* sx = dynamic_cast<core::SphinxIndex*>(verifier.get())) {
+      const uint64_t stale_before = sx->sphinx_stats().pec_stale;
+      for (int t = 0; t < options_.threads; ++t) {
+        for (int i = 0; i < options_.lin_keys_per_thread; ++i) {
+          verifier->search(lin_key(t, i), &v);
+        }
+        for (int i = 0; i < options_.churn_keys_per_thread; ++i) {
+          verifier->search(churn_key(t, i), &v);
+        }
+      }
+      report->pec_second_pass_stale =
+          sx->sphinx_stats().pec_stale - stale_before;
+    }
   }
 
   StressOptions options_;
@@ -345,6 +387,11 @@ class StressHarness {
   // Indexed by lin_slot(); written by each key's single owner, read by all.
   std::vector<std::atomic<int64_t>> started_;
   std::vector<std::atomic<int64_t>> completed_;
+  // Per-worker Sphinx PEC stats, summed as each worker retires.
+  std::atomic<uint64_t> pec_hits_{0};
+  std::atomic<uint64_t> pec_stale_{0};
+  std::atomic<uint64_t> spec_wins_{0};
+  std::atomic<uint64_t> spec_losses_{0};
 };
 
 inline StressReport run_stress(const StressOptions& options) {

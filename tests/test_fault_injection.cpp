@@ -375,6 +375,49 @@ TEST(FaultInjection, FixedSeedIsBitForBitReproducible) {
   EXPECT_FALSE(identical);
 }
 
+TEST(FaultInjection, UnmeteredEndpointsStayInvisibleUnderFaults) {
+  // Bootstrap/loading endpoints (metered = false) must never accumulate
+  // traffic statistics, consume the injector's random stream, or charge
+  // virtual time -- even with an aggressive injector installed. A metered
+  // sibling on the same fabric confirms the injector itself is live.
+  rdma::Fabric fabric(small_config(), 1 << 20);
+  FaultInjector injector(7);
+  FaultRule delay;
+  delay.kind = FaultKind::kDelay;
+  delay.probability = 1.0;
+  delay.delay_ns = 500;
+  injector.add_rule(delay);
+  FaultRule casfail;
+  casfail.kind = FaultKind::kCasFail;
+  casfail.probability = 1.0;
+  casfail.site = FaultSite::kAny;
+  injector.add_rule(casfail);
+  fabric.set_fault_injector(&injector);
+
+  rdma::Endpoint quiet(fabric, 0, /*metered=*/false);
+  uint64_t buf = 0;
+  quiet.write64(GlobalAddr(0, 64), 42);
+  quiet.read(GlobalAddr(0, 64), &buf, sizeof(buf));
+  EXPECT_EQ(buf, 42u);
+  // Unmetered CAS bypasses injection entirely: it must succeed and stay
+  // uncounted (the regression here was the injected-failure branch bumping
+  // stats_.cas on unmetered endpoints).
+  EXPECT_TRUE(quiet.cas(GlobalAddr(0, 64), 42, 43, nullptr,
+                        FaultSite::kHashInsert));
+  quiet.faa(GlobalAddr(0, 64), 1);
+  EXPECT_TRUE(quiet.stats().all_zero());
+  EXPECT_EQ(quiet.clock_ns(), 0u);
+  EXPECT_EQ(injector.stats().verbs_inspected, 0u);
+
+  rdma::Endpoint loud(fabric, 0, /*metered=*/true);
+  EXPECT_FALSE(loud.cas(GlobalAddr(0, 64), 44, 45, nullptr,
+                        FaultSite::kHashInsert));
+  EXPECT_EQ(loud.stats().cas, 1u);
+  EXPECT_FALSE(loud.stats().all_zero());
+  EXPECT_GT(injector.stats().verbs_inspected, 0u);
+  fabric.set_fault_injector(nullptr);
+}
+
 // ---- integration: injected faults drive the Sphinx core's retry paths ----
 
 TEST(FaultInjection, InjectedInhtFailuresDriveSphinxRetryPaths) {
@@ -413,15 +456,32 @@ TEST(FaultInjection, InjectedInhtFailuresDriveSphinxRetryPaths) {
   EXPECT_GT(stats.inht_update_misses, 0u);
   EXPECT_GT(injector.stats().cas_failures, 0u);
 
-  // No data was lost: with injection disarmed every key is still found,
-  // and the searches exercise the filter false-positive reject path (the
-  // filter knows the prefixes whose INHT entries never landed).
+  // No data was lost: with injection disarmed every key is still found.
+  // The prefix entry cache rescues the prefixes whose INHT entries never
+  // landed (on_inner_created seeded it locally), so these searches resolve
+  // as PEC hits instead of filter false positives.
   injector.disarm_rule(rule_id);
   for (const std::string& k : keys) {
     ASSERT_TRUE(index->search(k, &v)) << k;
     EXPECT_EQ(v, "v:" + k);
   }
-  EXPECT_GT(stats.fp_rejects, 0u);
+  EXPECT_GT(stats.pec_hits, 0u);
+  EXPECT_EQ(stats.fp_rejects, 0u);
+
+  // A PEC-less client sharing the same (stale) filter still exercises the
+  // false-positive reject path: the filter admits the prefixes, the INHT
+  // has no entries for them, and the search falls back cleanly.
+  core::SphinxConfig no_pec;
+  no_pec.use_pec = false;
+  rdma::Endpoint ep2(cluster->fabric(), 0, true);
+  mem::RemoteAllocator alloc2(*cluster, ep2);
+  core::SphinxIndex bare(*cluster, ep2, alloc2, *setup.sphinx_refs(),
+                         setup.filter(0), nullptr, no_pec);
+  for (const std::string& k : keys) {
+    ASSERT_TRUE(bare.search(k, &v)) << k;
+    EXPECT_EQ(v, "v:" + k);
+  }
+  EXPECT_GT(bare.sphinx_stats().fp_rejects, 0u);
   cluster->fabric().set_fault_injector(nullptr);
 }
 

@@ -123,6 +123,173 @@ TEST_F(SphinxTest, WarmSearchTakesThreeRoundTrips) {
   EXPECT_GE(rtts_per_op, 2.0);
 }
 
+TEST_F(SphinxTest, WarmSearchTakesTwoRoundTripsWithPec) {
+  // With the prefix entry cache warm, the hash-entry read disappears: a
+  // search is node read + leaf read, two round trips.
+  auto pec = filter::PrefixEntryCache::with_budget(1 << 20);
+  rdma::Endpoint ep(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc(*cluster_, ep);
+  SphinxIndex warm(*cluster_, ep, alloc, refs_, filter_.get(), pec.get());
+  const auto keys = ycsb::generate_email_keys(500, 11);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(warm.insert(k, "v"));
+  }
+  std::string v;
+  for (const auto& k : keys) {
+    ASSERT_TRUE(warm.search(k, &v));  // warm filter + PEC
+  }
+  const uint64_t rtt0 = ep.stats().round_trips;
+  const uint64_t hits0 = warm.sphinx_stats().pec_hits;
+  uint64_t ops = 0;
+  for (const auto& k : keys) {
+    ASSERT_TRUE(warm.search(k, &v));
+    ++ops;
+  }
+  const double rtts_per_op =
+      static_cast<double>(ep.stats().round_trips - rtt0) /
+      static_cast<double>(ops);
+  EXPECT_LE(rtts_per_op, 2.4);
+  EXPECT_GE(rtts_per_op, 1.9);
+  EXPECT_GT(warm.sphinx_stats().pec_hits, hits0);
+}
+
+TEST_F(SphinxTest, ColdPecHitFusesSpeculativeReadIntoTwoRoundTrips) {
+  // A PEC entry seeded by node creation (never looked up -> cold) is
+  // hedged: node read + INHT group read go out in one doorbell batch.
+  // When the entry is fresh the search still completes in two round trips.
+  auto pec = filter::PrefixEntryCache::with_budget(1 << 18);
+  rdma::Endpoint ep_a(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_a(*cluster_, ep_a);
+  SphinxIndex writer(*cluster_, ep_a, alloc_a, refs_, filter_.get(),
+                     pec.get());
+  // Two keys diverging at byte 8 create one inner node at depth 8; its PEC
+  // entry is seeded by on_inner_created and never looked up afterwards.
+  ASSERT_TRUE(writer.insert("specpfx:Arest", "va"));
+  ASSERT_TRUE(writer.insert("specpfx:Brest", "vb"));
+
+  rdma::Endpoint ep_b(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_b(*cluster_, ep_b);
+  SphinxIndex reader(*cluster_, ep_b, alloc_b, refs_, filter_.get(),
+                     pec.get());
+  // Pre-warm the reader's INHT directory cache for the prefix's MN (a
+  // fresh client pays that once); this INHT probe does not touch the PEC,
+  // so the entry stays cold.
+  std::vector<uint64_t> scratch;
+  reader.inht().search(art::prefix_hash(Slice("specpfx:")), scratch);
+  const uint64_t rtt0 = ep_b.stats().round_trips;
+  std::string v;
+  ASSERT_TRUE(reader.search("specpfx:Arest", &v));
+  EXPECT_EQ(v, "va");
+  EXPECT_EQ(ep_b.stats().round_trips - rtt0, 2u);
+  EXPECT_EQ(reader.sphinx_stats().speculative_wins, 1u);
+  EXPECT_EQ(reader.sphinx_stats().pec_stale, 0u);
+}
+
+TEST_F(SphinxTest, StaleColdPecEntryCostsNoExtraRoundTrip) {
+  // The fusion hedge pays off when the cold entry *is* stale: the fused
+  // INHT group already holds the fresh payload, so recovery needs no
+  // additional INHT round trip -- total three RTTs, the same as a search
+  // with no PEC at all.
+  auto pec = filter::PrefixEntryCache::with_budget(1 << 18);
+  rdma::Endpoint ep_a(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_a(*cluster_, ep_a);
+  SphinxIndex writer(*cluster_, ep_a, alloc_a, refs_, filter_.get(),
+                     pec.get());
+  ASSERT_TRUE(writer.insert("fusepfx:Arest", "va"));
+  ASSERT_TRUE(writer.insert("fusepfx:Brest", "vb"));
+
+  // A PEC-less client grows the node past Node4 so it is copied to a new
+  // address and the old one is marked invalid. The shared PEC entry (cold,
+  // nobody ever looked it up) now points at a dead node.
+  SphinxConfig bare_config;
+  bare_config.use_filter = false;
+  rdma::Endpoint ep_c(cluster_->fabric(), 1, true);
+  mem::RemoteAllocator alloc_c(*cluster_, ep_c);
+  SphinxIndex grower(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr,
+                     bare_config);
+  for (char c = 'C'; c <= 'J'; ++c) {
+    ASSERT_TRUE(grower.insert(std::string("fusepfx:") + c + "rest", "vg"));
+  }
+  ASSERT_GT(grower.tree_stats().type_switches, 0u);
+
+  rdma::Endpoint ep_b(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_b(*cluster_, ep_b);
+  SphinxIndex reader(*cluster_, ep_b, alloc_b, refs_, filter_.get(),
+                     pec.get());
+  // Warm the INHT directory cache outside the measured window (see
+  // ColdPecHitFusesSpeculativeReadIntoTwoRoundTrips).
+  std::vector<uint64_t> scratch;
+  reader.inht().search(art::prefix_hash(Slice("fusepfx:")), scratch);
+  const uint64_t rtt0 = ep_b.stats().round_trips;
+  std::string v;
+  ASSERT_TRUE(reader.search("fusepfx:Arest", &v));
+  EXPECT_EQ(v, "va");
+  // Fused (stale node + group) + fresh node + leaf = 3 RTTs.
+  EXPECT_EQ(ep_b.stats().round_trips - rtt0, 3u);
+  EXPECT_EQ(reader.sphinx_stats().speculative_losses, 1u);
+  EXPECT_EQ(reader.sphinx_stats().pec_stale, 1u);
+  // The loss purged and re-seeded the shared entry: the next cold search
+  // validates on the first try.
+  rdma::Endpoint ep_d(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_d(*cluster_, ep_d);
+  SphinxIndex reader2(*cluster_, ep_d, alloc_d, refs_, filter_.get(),
+                      pec.get());
+  ASSERT_TRUE(reader2.search("fusepfx:Brest", &v));
+  EXPECT_EQ(v, "vb");
+  EXPECT_EQ(reader2.sphinx_stats().pec_stale, 0u);
+}
+
+TEST_F(SphinxTest, PecStaleEntriesSelfHealAfterTypeSwitches) {
+  // Warm a client's PEC, let a second client churn the same prefixes
+  // through type switches, then verify the first client's searches (a)
+  // stay correct and (b) purge-and-refresh each stale entry exactly once:
+  // a second pass over the same keys finds no new staleness.
+  auto pec = filter::PrefixEntryCache::with_budget(1 << 20);
+  rdma::Endpoint ep_a(cluster_->fabric(), 0, true);
+  mem::RemoteAllocator alloc_a(*cluster_, ep_a);
+  SphinxIndex client(*cluster_, ep_a, alloc_a, refs_, filter_.get(),
+                     pec.get());
+  std::vector<std::string> keys;
+  for (int p = 0; p < 20; ++p) {
+    keys.push_back("heal" + std::to_string(p) + ":a1");
+    keys.push_back("heal" + std::to_string(p) + ":b2");
+  }
+  std::string v;
+  for (const auto& k : keys) {
+    ASSERT_TRUE(client.insert(k, "v:" + k));
+  }
+  for (const auto& k : keys) {
+    ASSERT_TRUE(client.search(k, &v));  // warm + mark entries hot
+  }
+
+  SphinxConfig bare_config;
+  bare_config.use_filter = false;
+  rdma::Endpoint ep_c(cluster_->fabric(), 1, true);
+  mem::RemoteAllocator alloc_c(*cluster_, ep_c);
+  SphinxIndex churner(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr,
+                      bare_config);
+  for (int p = 0; p < 20; ++p) {
+    for (char c = 'c'; c <= 'j'; ++c) {
+      const std::string k =
+          "heal" + std::to_string(p) + ":" + std::string(1, c) + "x";
+      ASSERT_TRUE(churner.insert(k, "v:" + k));
+      keys.push_back(k);
+    }
+  }
+  ASSERT_GT(churner.tree_stats().type_switches, 0u);
+
+  for (const auto& k : keys) {
+    ASSERT_TRUE(client.search(k, &v)) << k;
+    EXPECT_EQ(v, "v:" + k);
+  }
+  const uint64_t stale_after_first = client.sphinx_stats().pec_stale;
+  EXPECT_GT(stale_after_first, 0u);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(client.search(k, &v)) << k;
+  }
+  EXPECT_EQ(client.sphinx_stats().pec_stale, stale_after_first);
+}
+
 TEST_F(SphinxTest, SearchIsCheaperThanArtForDeepKeys) {
   // The headline claim: Sphinx's hash-based jump beats level-by-level
   // traversal for long keys / deep trees.
@@ -183,7 +350,8 @@ TEST_F(SphinxTest, NoFilterModeWorks) {
   config.use_filter = false;
   rdma::Endpoint ep2(cluster_->fabric(), 1, true);
   mem::RemoteAllocator alloc2(*cluster_, ep2);
-  SphinxIndex nofilter(*cluster_, ep2, alloc2, refs_, nullptr, config);
+  SphinxIndex nofilter(*cluster_, ep2, alloc2, refs_, nullptr, nullptr,
+                       config);
   for (int i = 0; i < 300; ++i) {
     ASSERT_TRUE(nofilter.insert("nf" + std::to_string(i), "v"));
   }
@@ -207,7 +375,7 @@ TEST_F(SphinxTest, InhtTracksCreatedInnerNodes) {
   config.use_filter = false;
   rdma::Endpoint ep2(cluster_->fabric(), 2, true);
   mem::RemoteAllocator alloc2(*cluster_, ep2);
-  SphinxIndex peer(*cluster_, ep2, alloc2, refs_, nullptr, config);
+  SphinxIndex peer(*cluster_, ep2, alloc2, refs_, nullptr, nullptr, config);
   std::string v;
   for (const auto& k : keys) {
     ASSERT_TRUE(peer.search(k, &v)) << k;

@@ -71,6 +71,34 @@ TEST(Stress, BpTreeUnderFaults) {
   expect_clean(run_stress(options));
 }
 
+TEST(Stress, SphinxPecCoherenceUnderChurnAndFaults) {
+  // The prefix entry cache under concurrent type switches (churn stripes
+  // grow nodes past their capacity) plus injected CAS losses: searches must
+  // still linearize, the PEC must actually carry traffic, and staleness
+  // must self-heal -- a second quiesced pass over every key sees zero new
+  // validation failures.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;  // deeper stripes -> more splits
+  options.ops_per_thread = 2000;
+  options.faults = true;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.pec_hits, 0u);
+  EXPECT_EQ(report.pec_second_pass_stale, 0u);
+}
+
+TEST(Stress, SphinxPecDisabledMatchesSeedBehavior) {
+  // pec_budget = 0 reproduces the seed SFC-only configuration: still clean
+  // under faults, with zero PEC traffic.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.pec_budget = 0;
+  options.faults = true;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_EQ(report.pec_hits, 0u);
+  EXPECT_EQ(report.pec_stale, 0u);
+}
+
 TEST(Stress, SphinxSurvivesMnOutageBursts) {
   StressOptions options = base_options(ycsb::SystemKind::kSphinx);
   options.faults = true;

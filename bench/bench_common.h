@@ -55,26 +55,38 @@ inline std::vector<ycsb::SystemKind> paper_systems() {
 // Standard background fault schedule for `--faults=<rate>` bench runs:
 // `rate` scales the per-verb probability of a congestion delay, with
 // proportionally rarer stalls and CAS race losses (tagged sites only).
+// `crash_rate` (--crash-rate) additionally kills clients: any tagged
+// protocol verb crashes its endpoint with that probability, exercising the
+// lease-reclamation paths (the runner reincarnates crashed workers).
 // Deterministic under `seed`; see rdma/fault_injector.h and
 // EXPERIMENTS.md ("Fault injection & stress testing").
-inline std::unique_ptr<rdma::FaultInjector> make_fault_injector(double rate,
-                                                                uint64_t seed) {
+inline std::unique_ptr<rdma::FaultInjector> make_fault_injector(
+    double rate, uint64_t seed, double crash_rate = 0.0) {
   auto injector = std::make_unique<rdma::FaultInjector>(seed);
-  rdma::FaultRule delay;
-  delay.kind = rdma::FaultKind::kDelay;
-  delay.probability = rate;
-  delay.delay_ns = 400;
-  injector->add_rule(delay);
-  rdma::FaultRule stall;
-  stall.kind = rdma::FaultKind::kStall;
-  stall.probability = rate / 5.0;
-  stall.delay_ns = 2000;
-  injector->add_rule(stall);
-  rdma::FaultRule casfail;
-  casfail.kind = rdma::FaultKind::kCasFail;
-  casfail.probability = rate / 2.0;
-  casfail.site = rdma::FaultSite::kAny;
-  injector->add_rule(casfail);
+  if (rate > 0.0) {
+    rdma::FaultRule delay;
+    delay.kind = rdma::FaultKind::kDelay;
+    delay.probability = rate;
+    delay.delay_ns = 400;
+    injector->add_rule(delay);
+    rdma::FaultRule stall;
+    stall.kind = rdma::FaultKind::kStall;
+    stall.probability = rate / 5.0;
+    stall.delay_ns = 2000;
+    injector->add_rule(stall);
+    rdma::FaultRule casfail;
+    casfail.kind = rdma::FaultKind::kCasFail;
+    casfail.probability = rate / 2.0;
+    casfail.site = rdma::FaultSite::kAny;
+    injector->add_rule(casfail);
+  }
+  if (crash_rate > 0.0) {
+    rdma::FaultRule crash;
+    crash.kind = rdma::FaultKind::kClientCrash;
+    crash.probability = crash_rate;
+    crash.site = rdma::FaultSite::kAny;
+    injector->add_rule(crash);
+  }
   return injector;
 }
 
@@ -82,7 +94,8 @@ inline std::string fault_summary(const rdma::FaultStats& stats) {
   return "faults: " + std::to_string(stats.delays) + " delays, " +
          std::to_string(stats.stalls) + " stalls, " +
          std::to_string(stats.cas_failures) + " cas-losses, " +
-         std::to_string(stats.offline_rejects) + " offline-rejects (" +
+         std::to_string(stats.offline_rejects) + " offline-rejects, " +
+         std::to_string(stats.client_crashes) + " client-crashes (" +
          std::to_string(stats.verbs_inspected) + " verbs inspected)";
 }
 

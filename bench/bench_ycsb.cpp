@@ -9,7 +9,7 @@
 // Usage:
 //   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
-//              [--faults=0.02] [--fault-seed=42]
+//              [--faults=0.02] [--crash-rate=0.0001] [--fault-seed=42]
 //              [--json=out.json] [--pec-budget=<bytes>] [--no-pec]
 //
 // --faults=<rate> installs the standard background fault schedule
@@ -18,17 +18,27 @@
 // stalls and CAS race losses. Load and warmup stay fault-free. Per-fault
 // counters are reported per system; --fault-seed makes a run replayable.
 //
+// --crash-rate=<p> kills clients: every tagged protocol verb crashes its
+// endpoint with probability p. The runner reincarnates crashed workers;
+// orphaned locks are reclaimed by survivors via the lease watch, and the
+// recovery counters (lock reclaims, lease expiries, retry timeouts, backoff
+// histogram) are reported per workload and emitted in --json records.
+//
 // --json=<path> additionally writes one machine-readable record per
-// (system, dataset, workload) -- throughput, RTTs/op, read bytes/op and
-// mean latency -- for regression tracking (see BENCH_seed.json).
+// (system, dataset, workload) -- throughput, RTTs/op, read bytes/op, mean
+// latency, crash/recovery counters -- for regression tracking (see
+// BENCH_seed.json).
 // --pec-budget=<bytes> overrides the Sphinx prefix-entry-cache budget
 // (default: 25% of the CN cache budget); --no-pec disables the PEC,
 // reproducing the seed SFC-only configuration.
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
+#include "art/remote_tree.h"
 #include "bench_common.h"
+#include "core/sphinx_index.h"
 
 namespace sphinx::bench {
 namespace {
@@ -43,6 +53,36 @@ struct JsonRecord {
   double rtts_per_op;
   double read_bytes_per_op;
   double mean_latency_ns;
+  uint64_t client_crashes = 0;
+  rdma::RecoveryStats recovery;
+  rdma::BackoffHistogram backoff;
+};
+
+// Sums the crash-recovery counters of every worker's index client (tree
+// lock recovery + INHT lock recovery for Sphinx). Fed by the runner's
+// per-worker hook, which also fires for each crashed incarnation.
+struct RecoveryAgg {
+  std::mutex mu;
+  rdma::RecoveryStats recovery;
+  rdma::BackoffHistogram backoff;
+
+  void add(KvIndex& index) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (auto* tree = dynamic_cast<art::RemoteTree*>(&index)) {
+      recovery += tree->tree_stats().recovery;
+      backoff += tree->tree_stats().backoff;
+    }
+    if (auto* sphinx = dynamic_cast<core::SphinxIndex*>(&index)) {
+      const race::RaceStats inht = sphinx->inht().aggregated_stats();
+      recovery += inht.recovery;
+      backoff += inht.backoff;
+    }
+  }
+
+  void reset() {
+    recovery = rdma::RecoveryStats();
+    backoff = rdma::BackoffHistogram();
+  }
 };
 
 void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
@@ -61,7 +101,20 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
          << "\", \"ops_per_sec\": " << std::fixed << r.ops_per_sec
          << ", \"rtts_per_op\": " << r.rtts_per_op
          << ", \"read_bytes_per_op\": " << r.read_bytes_per_op
-         << ", \"mean_latency_ns\": " << r.mean_latency_ns << "}";
+         << ", \"mean_latency_ns\": " << r.mean_latency_ns
+         << ", \"client_crashes\": " << r.client_crashes
+         << ", \"lock_reclaims\": " << r.recovery.lock_reclaims
+         << ", \"lock_rollforwards\": " << r.recovery.lock_rollforwards
+         << ", \"lease_expiries_observed\": "
+         << r.recovery.lease_expiries_observed
+         << ", \"retry_timeouts\": " << r.recovery.retry_timeouts
+         << ", \"backoff_waits\": " << r.backoff.waits
+         << ", \"backoff_wait_ns\": " << r.backoff.wait_ns
+         << ", \"backoff_hist\": [";
+    for (uint32_t b = 0; b < rdma::BackoffHistogram::kBuckets; ++b) {
+      line << (b > 0 ? ", " : "") << r.backoff.buckets[b];
+    }
+    line << "]}";
     out << line.str() << (i + 1 < recs.size() ? ",\n" : "\n");
   }
   out << "]\n";
@@ -76,6 +129,7 @@ int run(int argc, char** argv) {
   const std::string workloads = flags.get_string("workloads", "ABCDEL");
   const bool warmup = flags.get_bool("warmup", true);
   const double fault_rate = flags.get_double("faults", 0.0);
+  const double crash_rate = flags.get_double("crash-rate", 0.0);
   const uint64_t fault_seed = flags.get_u64("fault-seed", 42);
   const std::string json_path = flags.get_string("json", "");
   // PEC sizing: --no-pec wins, then an explicit --pec-budget in bytes,
@@ -90,9 +144,10 @@ int run(int argc, char** argv) {
   std::cout << "# Fig. 4 -- YCSB throughput, " << num_keys
             << " loaded keys, " << workers << " workers x " << ops_per_worker
             << " ops, zipfian 0.99, 64 B values\n";
-  if (fault_rate > 0.0) {
+  if (fault_rate > 0.0 || crash_rate > 0.0) {
     std::cout << "# fault injection on: rate=" << fault_rate
-              << " seed=" << fault_seed << "\n";
+              << " crash-rate=" << crash_rate << " seed=" << fault_seed
+              << "\n";
   }
   std::cout << "\n";
 
@@ -132,13 +187,20 @@ int run(int argc, char** argv) {
       // Faults perturb only the measured phases; loading and warmup ran
       // clean so every system starts from an identical healthy state.
       std::unique_ptr<rdma::FaultInjector> injector;
-      if (fault_rate > 0.0) {
-        injector = make_fault_injector(fault_rate, fault_seed);
+      if (fault_rate > 0.0 || crash_rate > 0.0) {
+        injector = make_fault_injector(fault_rate, fault_seed, crash_rate);
         cluster->fabric().set_fault_injector(injector.get());
       }
 
+      // Crash-recovery counters, summed over every worker incarnation of
+      // the current workload (reset between workloads).
+      RecoveryAgg recovery_agg;
+      runner.set_per_worker_hook(
+          [&recovery_agg](KvIndex& index, uint32_t) { recovery_agg.add(index); });
+
       int row = 0;
       for (char w : workloads) {
+        recovery_agg.reset();
         ycsb::RunOptions options;
         options.workers = workers;
         options.ops_per_worker =
@@ -152,15 +214,27 @@ int run(int argc, char** argv) {
                   << TablePrinter::fmt_mops(result.ops_per_sec) << " ("
                   << TablePrinter::fmt_double(result.rtts_per_op) << " rtt/op, "
                   << result.latency.summary() << ")\n";
+        if (result.client_crashes > 0 ||
+            recovery_agg.recovery.lock_reclaims > 0) {
+          std::cerr << "    crashes: " << result.client_crashes
+                    << ", lock reclaims: "
+                    << recovery_agg.recovery.lock_reclaims << " ("
+                    << recovery_agg.recovery.lock_rollforwards
+                    << " roll-forward), lease expiries: "
+                    << recovery_agg.recovery.lease_expiries_observed
+                    << ", retry timeouts: "
+                    << recovery_agg.recovery.retry_timeouts << "\n";
+        }
         if (!json_path.empty()) {
-          json_records.push_back({setup.name(),
-                                  ycsb::dataset_name(dataset),
+          json_records.push_back({setup.name(), ycsb::dataset_name(dataset),
                                   result.workload, result.ops_per_sec,
                                   result.rtts_per_op, result.read_bytes_per_op,
-                                  result.mean_latency_ns});
+                                  result.mean_latency_ns, result.client_crashes,
+                                  recovery_agg.recovery, recovery_agg.backoff});
         }
         row++;
       }
+      runner.set_per_worker_hook(nullptr);
       if (injector) {
         std::cerr << "  " << fault_summary(injector->stats()) << "\n";
         cluster->fabric().set_fault_injector(nullptr);

@@ -34,8 +34,10 @@ bool InnerImage::frag_consistent(const TerminatedKey& key,
 
 InnerImage InnerImage::grown_copy(NodeType new_type) const {
   InnerImage out;
+  // The hash comes from word 1, not the header: while the source node is
+  // locked its header's hash42 bits carry the lock lease instead.
   out.words_[0] = pack_inner_header(NodeStatus::kIdle, new_type, depth(),
-                                    header_prefix_hash42(header()));
+                                    words_[1] & ((1ULL << 42) - 1));
   out.words_[1] = words_[1];
   out.words_[2] = words_[2];
   for (uint32_t i = 0; i < node_capacity(new_type); ++i) out.words_[3 + i] = 0;
@@ -54,6 +56,27 @@ InnerImage InnerImage::grown_copy(NodeType new_type) const {
   return out;
 }
 
+namespace {
+
+// CRC over the lease-neutral header plus the key/value region described by
+// (klen, vlen). Both the builder and every validator use exactly this.
+uint32_t leaf_crc(const uint8_t* buf, uint32_t units, uint32_t klen,
+                  uint32_t vlen) {
+  const uint64_t neutral =
+      leaf_crc_neutral(pack_leaf_header(NodeStatus::kIdle, units, klen, vlen));
+  uint32_t crc = crc32c(&neutral, 8);
+  return crc32c(buf + 8, pad8(klen) + pad8(vlen), crc);
+}
+
+void write_trailer(uint8_t* buf, uint32_t units, uint32_t klen,
+                   uint32_t vlen) {
+  const uint64_t t =
+      pack_leaf_trailer(leaf_crc(buf, units, klen, vlen), klen, vlen);
+  std::memcpy(buf + leaf_trailer_offset(units), &t, 8);
+}
+
+}  // namespace
+
 LeafImage LeafImage::build(Slice terminated_key, Slice value, uint32_t units) {
   LeafImage img;
   const uint32_t klen = static_cast<uint32_t>(terminated_key.size());
@@ -65,29 +88,52 @@ LeafImage LeafImage::build(Slice terminated_key, Slice value, uint32_t units) {
   std::memcpy(img.buf_.data(), &header, 8);
   std::memcpy(img.buf_.data() + 8, terminated_key.data(), klen);
   std::memcpy(img.buf_.data() + 8 + pad8(klen), value.data(), vlen);
-  const uint32_t crc_off = crc_offset(klen, vlen);
-  // Checksum over the image with status zeroed, so lock transitions on the
-  // header word never invalidate it.
-  const uint64_t neutral = header & ~0x3ULL;
-  uint32_t crc = crc32c(&neutral, 8);
-  crc = crc32c(img.buf_.data() + 8, crc_off - 8, crc);
-  std::memcpy(img.buf_.data() + crc_off, &crc, 4);
+  write_trailer(img.buf_.data(), units, klen, vlen);
   return img;
 }
 
 bool LeafImage::checksum_ok() const {
   if (buf_.size() < kLeafUnitBytes) return false;
   const uint64_t h = header();
+  const uint32_t u = leaf_units(h);
   const uint32_t klen = leaf_key_len(h);
   const uint32_t vlen = leaf_val_len(h);
-  const uint32_t crc_off = crc_offset(klen, vlen);
-  if (crc_off + 4 > buf_.size()) return false;
-  const uint64_t neutral = h & ~0x3ULL;
-  uint32_t crc = crc32c(&neutral, 8);
-  crc = crc32c(buf_.data() + 8, crc_off - 8, crc);
-  uint32_t stored;
-  std::memcpy(&stored, buf_.data() + crc_off, 4);
-  return stored == crc;
+  if (u * kLeafUnitBytes > buf_.size() || u == 0) return false;
+  if (leaf_units_for(klen, vlen) > u) return false;
+  uint64_t t;
+  std::memcpy(&t, buf_.data() + leaf_trailer_offset(u), 8);
+  return leaf_trailer_key_len(t) == klen && leaf_trailer_val_len(t) == vlen &&
+         leaf_trailer_crc(t) == leaf_crc(buf_.data(), u, klen, vlen);
+}
+
+LeafImage::Revalidate LeafImage::revalidate() {
+  if (buf_.size() >= 8) raw_header_ = header();
+  if (checksum_ok()) return Revalidate::kOk;
+  if (buf_.size() < kLeafUnitBytes) return Revalidate::kBad;
+  const uint64_t h = header();
+  const uint32_t u = leaf_units(h);
+  if (u == 0 || u * kLeafUnitBytes > buf_.size()) return Revalidate::kBad;
+  // The header's lengths do not match the body: if a crashed in-place
+  // updater wrote the new body + trailer but never republished the header,
+  // the trailer's redundant lengths reconstruct the new image.
+  uint64_t t;
+  std::memcpy(&t, buf_.data() + leaf_trailer_offset(u), 8);
+  const uint32_t klen = leaf_trailer_key_len(t);
+  const uint32_t vlen = leaf_trailer_val_len(t);
+  if (klen == 0 || klen >= (1u << kLeafKeyLenBits) ||
+      vlen >= (1u << kLeafValLenBits) || leaf_units_for(klen, vlen) > u) {
+    return Revalidate::kBad;
+  }
+  if (leaf_trailer_crc(t) != leaf_crc(buf_.data(), u, klen, vlen)) {
+    return Revalidate::kBad;
+  }
+  // Patch the *local* header's lengths, keeping the remote status + lease
+  // bits so callers still see who holds the (orphaned) lock.
+  const uint64_t patched =
+      (h & ~kLeafFieldsMask) |
+      leaf_crc_neutral(pack_leaf_header(NodeStatus::kIdle, u, klen, vlen));
+  std::memcpy(buf_.data(), &patched, 8);
+  return Revalidate::kPatched;
 }
 
 void LeafImage::replace_value(Slice new_value) {
@@ -101,11 +147,7 @@ void LeafImage::replace_value(Slice new_value) {
   std::memcpy(buf_.data(), &new_header, 8);
   std::memset(buf_.data() + 8 + pad8(klen), 0, buf_.size() - 8 - pad8(klen));
   std::memcpy(buf_.data() + 8 + pad8(klen), new_value.data(), vlen);
-  const uint32_t crc_off = crc_offset(klen, vlen);
-  const uint64_t neutral = new_header & ~0x3ULL;
-  uint32_t crc = crc32c(&neutral, 8);
-  crc = crc32c(buf_.data() + 8, crc_off - 8, crc);
-  std::memcpy(buf_.data() + crc_off, &crc, 4);
+  write_trailer(buf_.data(), u, klen, vlen);
 }
 
 }  // namespace sphinx::art

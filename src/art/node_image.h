@@ -145,19 +145,32 @@ class LeafImage {
         val_len());
   }
 
-  // Verifies the trailing CRC32C (computed with status bits zeroed).
+  // Verifies the fixed-position trailer (CRC computed with the status and
+  // lease bits zeroed) against the header's lengths.
   bool checksum_ok() const;
 
-  // Rewrites the value in place (must fit in the current units), refreshing
-  // header and checksum; used by the in-place update path.
-  void replace_value(Slice new_value);
+  // checksum_ok(), with a fallback for images left by a crashed in-place
+  // updater: when the header's lengths do not match the body but the
+  // trailer's redundant lengths + CRC describe a complete new image, the
+  // local header's length fields are patched (status and lease bits are
+  // preserved) and kPatched is returned. kBad means a torn read.
+  enum class Revalidate { kOk, kPatched, kBad };
+  Revalidate revalidate();
 
-  static uint32_t crc_offset(uint32_t key_len, uint32_t val_len) {
-    return 8 + pad8(key_len) + pad8(val_len);
-  }
+  // The header word exactly as it sat in remote memory at the last
+  // revalidate() -- i.e. before any local length patching. A lease watch
+  // (and its reclaim CAS) must be keyed on this word, never on header():
+  // a patched header exists only locally, so a CAS expecting it can never
+  // succeed against the orphaned lock word.
+  uint64_t raw_header() const { return raw_header_; }
+
+  // Rewrites the value in place (must fit in the current units), refreshing
+  // header and trailer; used by the in-place update path.
+  void replace_value(Slice new_value);
 
  private:
   std::vector<uint8_t> buf_;
+  uint64_t raw_header_ = 0;
 };
 
 }  // namespace sphinx::art

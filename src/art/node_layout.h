@@ -21,10 +21,26 @@
 //   bytes to fetch next, in one round trip.
 //
 // Leaf:
-//   word 0  header : status:2 | units:8 | key_len:16 | val_len:16
-//   terminated key bytes (padded to 8), value bytes (padded to 8),
-//   trailing CRC32C word. The checksum is computed with the status field
-//   zeroed, so a reader can validate an image regardless of lock state.
+//   word 0  header : status:2 | units:8 | key_len:9 | val_len:14 |
+//                    lease owner:8 | lease stamp:23
+//   terminated key bytes (padded to 8), value bytes (padded to 8), and --
+//   in the last 8 bytes of the last unit, at a *fixed* offset -- a trailer
+//   word crc32c:32 | key_len:16 | val_len:16. The checksum is computed
+//   with the status and lease bits zeroed, so a reader can validate an
+//   image regardless of lock state; the fixed trailer position plus the
+//   redundant lengths let a reclaimer locate and verify the image of a
+//   crashed in-place update whose header was never rewritten.
+//
+// Lock leases: while a node is Locked or Reclaiming, its header carries a
+// lease {owner client_id:8 | stamp:23}. For inner nodes the lease lives in
+// the prefix_hash42 bit range (word 1 still holds the full hash, from which
+// the idle header is rebuilt); for leaves it lives in the 31 bits freed by
+// the narrowed length fields. type/depth (inner) and units/key_len/val_len
+// (leaf) survive locking so lock-free readers parse headers mid-descent.
+// Expiry is detected by *watching* the lock word stay bit-identical for a
+// full lease (rdma/retry_policy.h), never by comparing stamps across
+// clients, so clock skew cannot forge an expiry; the stamp is a uniquifier
+// (two lock acquisitions by one owner always differ in it) and diagnostic.
 #pragma once
 
 #include <cassert>
@@ -34,7 +50,15 @@
 
 namespace sphinx::art {
 
-enum class NodeStatus : uint8_t { kIdle = 0, kLocked = 1, kInvalid = 2 };
+enum class NodeStatus : uint8_t {
+  kIdle = 0,
+  kLocked = 1,
+  kInvalid = 2,
+  // A waiter observed the lock lease expired and is restoring the node; the
+  // header carries the *reclaimer's* lease, so a crashed reclaimer is
+  // itself reclaimable. Readers treat it like kLocked.
+  kReclaiming = 3,
+};
 
 enum class NodeType : uint8_t { kN4 = 0, kN16 = 1, kN48 = 2, kN256 = 3 };
 
@@ -104,6 +128,36 @@ inline uint64_t with_status(uint64_t w, NodeStatus s) {
   return (w & ~0x3ULL) | static_cast<uint64_t>(s);
 }
 
+// ---- lock leases -----------------------------------------------------------
+
+constexpr uint32_t kLeaseOwnerBits = 8;
+constexpr uint32_t kLeaseStampBits = 23;
+constexpr uint32_t kLeaseStampMask = (1u << kLeaseStampBits) - 1;
+// Stamps tick in 1 us of the stamping endpoint's virtual clock (every verb
+// charges >= 2 us, so consecutive acquisitions by one owner always differ).
+constexpr uint32_t kLeaseStampShift = 10;
+
+inline uint32_t lease_stamp(uint64_t clock_ns) {
+  return static_cast<uint32_t>(clock_ns >> kLeaseStampShift) & kLeaseStampMask;
+}
+
+// Inner lease: owner/stamp overlay the prefix_hash42 bit range while the
+// node is Locked/Reclaiming; type and depth are preserved.
+inline uint64_t pack_inner_lease(uint64_t header, NodeStatus status,
+                                 uint8_t owner, uint32_t stamp) {
+  assert(status == NodeStatus::kLocked || status == NodeStatus::kReclaiming);
+  return (header & 0x1ffcULL) |  // keep type:3 | depth:8
+         static_cast<uint64_t>(status) |
+         (static_cast<uint64_t>(owner) << 13) |
+         (static_cast<uint64_t>(stamp & kLeaseStampMask) << 21);
+}
+inline uint8_t inner_lease_owner(uint64_t w) {
+  return static_cast<uint8_t>((w >> 13) & 0xff);
+}
+inline uint32_t inner_lease_stamp(uint64_t w) {
+  return static_cast<uint32_t>((w >> 21) & kLeaseStampMask);
+}
+
 // ---- prefix fragment word ----------------------------------------------------
 
 inline uint64_t pack_frag(const uint8_t* bytes, uint32_t len) {
@@ -161,23 +215,54 @@ inline rdma::GlobalAddr slot_addr(uint64_t s) {
 
 constexpr uint32_t kLeafUnitBytes = 64;
 
+// key_len:9 covers terminated keys up to kMaxKeyLen (255) + 1; val_len:14
+// covers the largest leaf a slot can describe (units < 64 -> payload
+// < 4096 B). The 31 bits this frees (vs the former 16|16 split) hold the
+// lock lease.
+constexpr uint32_t kLeafKeyLenBits = 9;
+constexpr uint32_t kLeafValLenBits = 14;
+// units | key_len | val_len (bits 2..32): everything but status + lease.
+constexpr uint64_t kLeafFieldsMask = 0x1fffffffcULL;
+
 inline uint64_t pack_leaf_header(NodeStatus status, uint32_t units,
                                  uint32_t key_len, uint32_t val_len) {
-  assert(units < 256 && key_len < (1u << 16) && val_len < (1u << 16));
+  assert(units < 256 && key_len < (1u << kLeafKeyLenBits) &&
+         val_len < (1u << kLeafValLenBits));
   return static_cast<uint64_t>(status) |
          (static_cast<uint64_t>(units) << 2) |
          (static_cast<uint64_t>(key_len) << 10) |
-         (static_cast<uint64_t>(val_len) << 26);
+         (static_cast<uint64_t>(val_len) << 19);
 }
 
 inline uint32_t leaf_units(uint64_t w) {
   return static_cast<uint32_t>((w >> 2) & 0xff);
 }
 inline uint32_t leaf_key_len(uint64_t w) {
-  return static_cast<uint32_t>((w >> 10) & 0xffff);
+  return static_cast<uint32_t>((w >> 10) & ((1u << kLeafKeyLenBits) - 1));
 }
 inline uint32_t leaf_val_len(uint64_t w) {
-  return static_cast<uint32_t>((w >> 26) & 0xffff);
+  return static_cast<uint32_t>((w >> 19) & ((1u << kLeafValLenBits) - 1));
+}
+
+// Leaf lease: owner/stamp live above the length fields while the leaf is
+// Locked/Reclaiming; units/key_len/val_len are preserved.
+inline uint64_t pack_leaf_lease(uint64_t header, NodeStatus status,
+                                uint8_t owner, uint32_t stamp) {
+  assert(status == NodeStatus::kLocked || status == NodeStatus::kReclaiming);
+  return (header & kLeafFieldsMask) | static_cast<uint64_t>(status) |
+         (static_cast<uint64_t>(owner) << 33) |
+         (static_cast<uint64_t>(stamp & kLeaseStampMask) << 41);
+}
+inline uint8_t leaf_lease_owner(uint64_t w) {
+  return static_cast<uint8_t>((w >> 33) & 0xff);
+}
+inline uint32_t leaf_lease_stamp(uint64_t w) {
+  return static_cast<uint32_t>((w >> 41) & kLeaseStampMask);
+}
+
+// The CRC input header: status and lease bits zeroed, lengths kept.
+inline uint64_t leaf_crc_neutral(uint64_t header) {
+  return header & kLeafFieldsMask;
 }
 
 inline uint32_t pad8(uint32_t n) { return (n + 7) & ~7u; }
@@ -185,7 +270,32 @@ inline uint32_t pad8(uint32_t n) { return (n + 7) & ~7u; }
 // Bytes a leaf image needs for a (terminated) key and value, before
 // rounding up to 64 B units.
 inline uint32_t leaf_payload_bytes(uint32_t key_len, uint32_t val_len) {
-  return 8 + pad8(key_len) + pad8(val_len) + 8;  // header + key + val + crc
+  return 8 + pad8(key_len) + pad8(val_len) + 8;  // header + key + val + trailer
+}
+
+// ---- leaf trailer ----------------------------------------------------------
+// The last 8 bytes of the last unit: crc32c:32 | key_len:16 | val_len:16.
+// Fixed position (independent of the lengths) so a reclaimer that finds a
+// crashed in-place update can locate the checksum of the *new* image even
+// though the header still describes the old one; the redundant lengths let
+// it rebuild the header and roll the leaf forward.
+inline uint32_t leaf_trailer_offset(uint32_t units) {
+  return units * kLeafUnitBytes - 8;
+}
+inline uint64_t pack_leaf_trailer(uint32_t crc, uint32_t key_len,
+                                  uint32_t val_len) {
+  return static_cast<uint64_t>(crc) |
+         (static_cast<uint64_t>(key_len & 0xffff) << 32) |
+         (static_cast<uint64_t>(val_len & 0xffff) << 48);
+}
+inline uint32_t leaf_trailer_crc(uint64_t w) {
+  return static_cast<uint32_t>(w & 0xffffffffu);
+}
+inline uint32_t leaf_trailer_key_len(uint64_t w) {
+  return static_cast<uint32_t>((w >> 32) & 0xffff);
+}
+inline uint32_t leaf_trailer_val_len(uint64_t w) {
+  return static_cast<uint32_t>((w >> 48) & 0xffff);
 }
 
 inline uint32_t leaf_units_for(uint32_t key_len, uint32_t val_len) {

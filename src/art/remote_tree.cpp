@@ -9,22 +9,14 @@ namespace sphinx::art {
 
 namespace {
 
-// Real-time backoff between operation retries. Virtual clocks model the
-// fabric, but genuine thread starvation on a hot node is a host-level
-// artifact; yielding (then briefly sleeping) breaks retry livelocks.
-void retry_backoff(uint32_t attempt) {
-  if (attempt == 0) return;
-  if (attempt < 8) {
-    std::this_thread::yield();
-    return;
-  }
-  const uint32_t us = std::min<uint32_t>(1u << std::min(attempt - 8, 9u), 400);
-  std::this_thread::sleep_for(std::chrono::microseconds(us));
-}
-
 // Rewrites the branch byte of a slot word, keeping valid/leaf/meta/addr.
 uint64_t slot_with_pkey(uint64_t slot_word, uint8_t pkey) {
   return (slot_word & ~(0xffULL << 48)) | (static_cast<uint64_t>(pkey) << 48);
+}
+
+bool header_busy(uint64_t header) {
+  const NodeStatus s = header_status(header);
+  return s == NodeStatus::kLocked || s == NodeStatus::kReclaiming;
 }
 
 }  // namespace
@@ -47,7 +39,10 @@ RemoteTree::RemoteTree(mem::Cluster& cluster, rdma::Endpoint& endpoint,
       endpoint_(endpoint),
       allocator_(allocator),
       ref_(ref),
-      config_(config) {}
+      config_(config) {
+  // One knob for the per-op budget: the RetryPolicy enforces it.
+  config_.retry.max_attempts = config_.max_op_retries;
+}
 
 bool RemoteTree::fetch_inner(rdma::GlobalAddr addr, NodeType type,
                              InnerImage* out) {
@@ -60,7 +55,10 @@ bool RemoteTree::read_leaf(rdma::GlobalAddr addr, uint32_t units,
   out->resize(units);
   for (uint32_t attempt = 0; attempt < config_.max_leaf_reread; ++attempt) {
     endpoint_.read(addr, out->buf().data(), units * kLeafUnitBytes);
-    if (out->units() == units && out->checksum_ok()) return true;
+    if (out->units() == units &&
+        out->revalidate() != LeafImage::Revalidate::kBad) {
+      return true;
+    }
     stats_.torn_leaf_rereads++;
   }
   return false;
@@ -181,8 +179,9 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
 bool RemoteTree::search(Slice key, std::string* value_out) {
   const TerminatedKey tkey(key);
   bool allow_custom = true;
-  for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
-    retry_backoff(r);
+  rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
+  for (uint32_t r = 0;; ++r) {
+    if (!policy.backoff(r)) break;
     Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
@@ -211,11 +210,13 @@ bool RemoteTree::search(Slice key, std::string* value_out) {
         }
         return false;
       case DescendStatus::kNeedRetry:
+      case DescendStatus::kTimedOut:
         stats_.op_retries++;
         if (r >= 4) allow_custom = false;
         continue;
     }
   }
+  stats_.recovery.retry_timeouts++;
   stats_.ops_failed++;
   return false;
 }
@@ -232,7 +233,8 @@ RemoteTree::NewLeaf RemoteTree::make_leaf(const TerminatedKey& key,
   leaf.addr = allocator_.alloc(mn, leaf.units * kLeafUnitBytes,
                                mem::AllocTag::kLeaf);
   batch->add_write(leaf.addr, leaf.image.buf().data(),
-                   leaf.units * kLeafUnitBytes);
+                   leaf.units * kLeafUnitBytes,
+                   rdma::FaultSite::kPayloadWrite);
   return leaf;
 }
 
@@ -241,8 +243,9 @@ bool RemoteTree::insert(Slice key, Slice value) {
   assert(leaf_units_for(tkey.size(), static_cast<uint32_t>(value.size())) <
          64);
   bool allow_custom = true;
-  for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
-    retry_backoff(r);
+  rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
+  for (uint32_t r = 0;; ++r) {
+    if (!policy.backoff(r)) break;
     Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
@@ -305,34 +308,46 @@ bool RemoteTree::insert(Slice key, Slice value) {
         break;
       }
       case DescendStatus::kNeedRetry:
+      case DescendStatus::kTimedOut:
         stats_.op_retries++;
         if (r >= 4) allow_custom = false;
         break;
     }
   }
+  stats_.recovery.retry_timeouts++;
   stats_.ops_failed++;
   return false;
 }
 
-bool RemoteTree::lock_node(rdma::GlobalAddr addr, uint64_t seen_header,
-                           InnerImage* fresh) {
-  if (header_status(seen_header) != NodeStatus::kIdle) return false;
-  const uint64_t locked = with_status(seen_header, NodeStatus::kLocked);
-  if (!endpoint_.cas(addr, seen_header, locked, nullptr,
+bool RemoteTree::lock_node(const TerminatedKey& key, rdma::GlobalAddr addr,
+                           uint64_t seen_header, InnerImage* fresh,
+                           uint64_t* locked_out) {
+  if (header_status(seen_header) != NodeStatus::kIdle) {
+    note_busy_inner(key, addr, seen_header);
+    return false;
+  }
+  const uint64_t locked = lease_inner_locked(seen_header);
+  uint64_t observed = 0;
+  if (!endpoint_.cas(addr, seen_header, locked, &observed,
                      rdma::FaultSite::kLockAcquire)) {
     stats_.lock_fail_retries++;
+    if (header_busy(observed)) note_busy_inner(key, addr, observed);
     invalidate_inner(addr);
     return false;
   }
+  *locked_out = locked;
   if (fresh != nullptr) {
     RemoteTree::fetch_inner(addr, header_type(seen_header), fresh);
   }
   return true;
 }
 
-void RemoteTree::unlock_node(rdma::GlobalAddr addr, uint64_t seen_header) {
-  const uint64_t locked = with_status(seen_header, NodeStatus::kLocked);
-  endpoint_.cas(addr, locked, with_status(seen_header, NodeStatus::kIdle));
+void RemoteTree::unlock_node(rdma::GlobalAddr addr, uint64_t locked_header,
+                             uint64_t idle_header) {
+  // May lose only to a reclaimer that decided our lease expired; its
+  // restore supersedes ours, so a failed release needs no handling.
+  endpoint_.cas(addr, locked_header, idle_header, nullptr,
+                rdma::FaultSite::kLockRelease);
 }
 
 bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
@@ -340,12 +355,15 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
   PathEntry& node = d.path.back();
   const uint8_t branch = key.byte(node.image.depth());
   const uint64_t seen = node.image.header();
-  if (header_status(seen) != NodeStatus::kIdle) return false;
+  if (header_status(seen) != NodeStatus::kIdle) {
+    note_busy_inner(key, node.addr, seen);
+    return false;
+  }
 
   // One round trip: leaf payload write piggybacked with the lock CAS.
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
-  const uint64_t locked = with_status(seen, NodeStatus::kLocked);
+  const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
@@ -353,6 +371,8 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
                     mem::AllocTag::kLeaf);
     stats_.lock_fail_retries++;
+    const uint64_t observed = pre.old_value(lock_idx);
+    if (header_busy(observed)) note_busy_inner(key, node.addr, observed);
     invalidate_inner(node.addr);
     return false;
   }
@@ -370,7 +390,8 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
         node.addr.plus(kInnerHeaderBytes +
                        static_cast<uint64_t>(free_idx) * 8),
         0, slot_word, rdma::FaultSite::kSlotInstall);
-    batch.add_cas(node.addr, locked, seen);  // piggybacked lock release
+    // Piggybacked lock release.
+    batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
     batch.execute();
     ok = batch.cas_ok(slot_idx);
     if (ok) {
@@ -379,7 +400,7 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
       note_inner_write(node.addr, fresh);
     }
   } else {
-    unlock_node(node.addr, seen);
+    unlock_node(node.addr, locked, seen);
     invalidate_inner(node.addr);  // our view of this node was stale
   }
   if (!ok) {
@@ -411,7 +432,10 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   PathEntry& parent = d.path[static_cast<size_t>(ai)];
   const uint64_t child_word = parent.taken_word;
   const uint64_t seen = parent.image.header();
-  if (header_status(seen) != NodeStatus::kIdle) return false;
+  if (header_status(seen) != NodeStatus::kIdle) {
+    note_busy_inner(key, parent.addr, seen);
+    return false;
+  }
 
   // Build the new inner node M with the two children.
   const NodeType mtype = new_inner_type();
@@ -433,8 +457,8 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
     m.set_slot(0, leaf_slot);
     m.set_slot(1, moved_slot);
   }
-  pre.add_write(m_addr, m.raw(), m_bytes);
-  const uint64_t locked = with_status(seen, NodeStatus::kLocked);
+  pre.add_write(m_addr, m.raw(), m_bytes, rdma::FaultSite::kPayloadWrite);
+  const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(parent.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
@@ -448,6 +472,8 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   if (!pre.cas_ok(lock_idx)) {
     release_allocs();
     stats_.lock_fail_retries++;
+    const uint64_t observed = pre.old_value(lock_idx);
+    if (header_busy(observed)) note_busy_inner(key, parent.addr, observed);
     invalidate_inner(parent.addr);
     return false;
   }
@@ -457,7 +483,7 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   const uint8_t parent_branch = key.byte(parent.image.depth());
   const int idx = fresh.find_pkey(parent_branch);
   if (idx < 0 || fresh.slot(static_cast<uint32_t>(idx)) != child_word) {
-    unlock_node(parent.addr, seen);
+    unlock_node(parent.addr, locked, seen);
     invalidate_inner(parent.addr);  // stale view of the parent
     release_allocs();
     return false;
@@ -468,7 +494,7 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   const size_t cas_idx = batch.add_cas(
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
       child_word, m_slot, rdma::FaultSite::kSlotInstall);
-  batch.add_cas(parent.addr, locked, seen);
+  batch.add_cas(parent.addr, locked, seen, rdma::FaultSite::kLockRelease);
   batch.execute();
   if (!batch.cas_ok(cas_idx)) {
     release_allocs();
@@ -489,11 +515,14 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
   PathEntry& node = d.path.back();
   const uint8_t branch = key.byte(node.image.depth());
   const uint64_t seen = node.image.header();
-  if (header_status(seen) != NodeStatus::kIdle) return false;
+  if (header_status(seen) != NodeStatus::kIdle) {
+    note_busy_inner(key, node.addr, seen);
+    return false;
+  }
 
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
-  const uint64_t locked = with_status(seen, NodeStatus::kLocked);
+  const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
   pre.execute();
@@ -501,6 +530,8 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
                     mem::AllocTag::kLeaf);
     stats_.lock_fail_retries++;
+    const uint64_t observed = pre.old_value(lock_idx);
+    if (header_busy(observed)) note_busy_inner(key, node.addr, observed);
     return false;
   }
 
@@ -515,7 +546,7 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
     const size_t cas_idx = batch.add_cas(
         node.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
         node.taken_word, slot_word, rdma::FaultSite::kSlotInstall);
-    batch.add_cas(node.addr, locked, seen);
+    batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
     batch.execute();
     ok = batch.cas_ok(cas_idx);
     if (ok) {
@@ -532,7 +563,7 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
               kLeafUnitBytes);
     }
   } else {
-    unlock_node(node.addr, seen);
+    unlock_node(node.addr, locked, seen);
   }
   if (!ok) {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
@@ -546,18 +577,18 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   PathEntry& node = d.path.back();
   PathEntry& parent = d.path[d.path.size() - 2];
   const uint64_t seen_n = node.image.header();
-  if (header_status(seen_n) != NodeStatus::kIdle) return false;
-
   InnerImage fresh_n;
-  if (!lock_node(node.addr, seen_n, &fresh_n)) return false;
+  uint64_t locked_n = 0;
+  if (!lock_node(key, node.addr, seen_n, &fresh_n, &locked_n)) return false;
 
   if (fresh_n.find_free(key.byte(fresh_n.depth())) >= 0) {
-    unlock_node(node.addr, seen_n);  // room appeared; plain insert will do
+    // Room appeared; plain insert will do.
+    unlock_node(node.addr, locked_n, seen_n);
     return false;
   }
   const NodeType new_type = next_node_type(fresh_n.type());
   if (new_type == fresh_n.type()) {
-    unlock_node(node.addr, seen_n);
+    unlock_node(node.addr, locked_n, seen_n);
     return false;
   }
 
@@ -569,20 +600,24 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   // One round trip: write the replacement + lock the parent.
   const uint64_t seen_p = parent.image.header();
   if (header_status(seen_p) != NodeStatus::kIdle) {
-    unlock_node(node.addr, seen_n);
+    unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
+    note_busy_inner(key, parent.addr, seen_p);
     return false;
   }
-  const uint64_t locked_p = with_status(seen_p, NodeStatus::kLocked);
+  const uint64_t locked_p = lease_inner_locked(seen_p);
   rdma::DoorbellBatch pre(endpoint_);
-  pre.add_write(grown_addr, grown.raw(), grown_bytes);
+  pre.add_write(grown_addr, grown.raw(), grown_bytes,
+                rdma::FaultSite::kPayloadWrite);
   const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
                                       rdma::FaultSite::kLockAcquire);
   pre.execute();
   if (!pre.cas_ok(lock_idx)) {
-    unlock_node(node.addr, seen_n);
+    unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
     stats_.lock_fail_retries++;
+    const uint64_t observed = pre.old_value(lock_idx);
+    if (header_busy(observed)) note_busy_inner(key, parent.addr, observed);
     invalidate_inner(parent.addr);
     return false;
   }
@@ -593,8 +628,8 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   const int idx = fresh_p.find_pkey(parent_branch);
   if (idx < 0 ||
       fresh_p.slot(static_cast<uint32_t>(idx)) != parent.taken_word) {
-    unlock_node(parent.addr, seen_p);
-    unlock_node(node.addr, seen_n);
+    unlock_node(parent.addr, locked_p, seen_p);
+    unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
     return false;
   }
@@ -605,18 +640,21 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   const size_t cas_idx = batch.add_cas(
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
       parent.taken_word, new_slot, rdma::FaultSite::kSlotInstall);
-  batch.add_cas(parent.addr, locked_p, seen_p);
+  batch.add_cas(parent.addr, locked_p, seen_p, rdma::FaultSite::kLockRelease);
   batch.execute();
   if (!batch.cas_ok(cas_idx)) {
-    unlock_node(node.addr, seen_n);
+    unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
     return false;
   }
 
   // Retire the old node: Invalid status sends late arrivals into a retry.
   // Its memory is intentionally not reused (stale readers may still fetch
-  // it); only the accounting is released.
-  endpoint_.write64(node.addr, with_status(seen_n, NodeStatus::kInvalid));
+  // it); only the accounting is released. A crash before this write leaves
+  // the old node Locked *and* detached -- the reclaimer's reachability
+  // probe restores it to Invalid, never Idle.
+  endpoint_.write64(node.addr, with_status(seen_n, NodeStatus::kInvalid),
+                    rdma::FaultSite::kLockRelease);
   cluster_.alloc_stats().sub(mem::AllocTag::kInnerNode,
                              inner_alloc_bytes(fresh_n.type()),
                              inner_alloc_bytes(fresh_n.type()));
@@ -669,25 +707,34 @@ bool RemoteTree::recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
 bool RemoteTree::update(Slice key, Slice value) {
   const TerminatedKey tkey(key);
   bool allow_custom = true;
-  for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
-    retry_backoff(r);
+  rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
+  for (uint32_t r = 0;; ++r) {
+    if (!policy.backoff(r)) break;
     Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();
         if (d.leaf.status() != NodeStatus::kIdle) {
+          // Another writer holds the leaf (possibly a crashed one). Watch
+          // the raw remote word: header() may carry locally patched
+          // lengths, which the reclaim CAS could never match.
+          note_busy_leaf(tkey, d.leaf_addr, d.leaf.raw_header());
           stats_.op_retries++;
-          continue;  // another writer holds the leaf
+          continue;
         }
         const uint32_t needed = leaf_units_for(
             d.leaf.key_len(), static_cast<uint32_t>(value.size()));
         if (needed <= d.leaf.units()) {
           // In-place: lock CAS, then one WRITE carrying the new value, the
           // Idle status and the fresh checksum (combined release+write).
-          const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-          if (!endpoint_.cas(d.leaf_addr, seen, locked, nullptr,
+          const uint64_t locked = lease_leaf_locked(seen);
+          uint64_t observed = 0;
+          if (!endpoint_.cas(d.leaf_addr, seen, locked, &observed,
                              rdma::FaultSite::kLockAcquire)) {
             stats_.lock_fail_retries++;
+            if (header_busy(observed)) {
+              note_busy_leaf(tkey, d.leaf_addr, observed);
+            }
             continue;
           }
           LeafImage img = d.leaf;
@@ -695,20 +742,29 @@ bool RemoteTree::update(Slice key, Slice value) {
           // Publish body first, header (with the Idle status that releases
           // the lock) last, in one doorbell batch: a competing writer's
           // lock CAS cannot succeed until the complete image is visible,
-          // so two in-place updates never interleave their writes.
+          // so two in-place updates never interleave their writes. A crash
+          // between the two writes leaves the new body + trailer under a
+          // locked header; the reclaimer's trailer validation rolls the
+          // update forward (the body write is the linearization point).
           rdma::DoorbellBatch publish(endpoint_);
           publish.add_write(d.leaf_addr.plus(8), img.buf().data() + 8,
-                            img.buf().size() - 8);
-          publish.add_write(d.leaf_addr, img.buf().data(), 8);
+                            img.buf().size() - 8,
+                            rdma::FaultSite::kPayloadWrite);
+          publish.add_write(d.leaf_addr, img.buf().data(), 8,
+                            rdma::FaultSite::kLockRelease);
           publish.execute();
           return true;
         }
         // Out-of-place: lock the old leaf (blocks in-place updaters), then
         // swap the parent slot to a bigger leaf.
-        const uint64_t locked = with_status(seen, NodeStatus::kLocked);
-        if (!endpoint_.cas(d.leaf_addr, seen, locked, nullptr,
+        const uint64_t locked = lease_leaf_locked(seen);
+        uint64_t observed = 0;
+        if (!endpoint_.cas(d.leaf_addr, seen, locked, &observed,
                            rdma::FaultSite::kLockAcquire)) {
           stats_.lock_fail_retries++;
+          if (header_busy(observed)) {
+            note_busy_leaf(tkey, d.leaf_addr, observed);
+          }
           continue;
         }
         PathEntry& parent = d.path.back();
@@ -717,7 +773,7 @@ bool RemoteTree::update(Slice key, Slice value) {
         if (header_status(seen_p) == NodeStatus::kIdle) {
           rdma::DoorbellBatch pre(endpoint_);
           NewLeaf leaf = make_leaf(tkey, value, &pre);
-          const uint64_t locked_p = with_status(seen_p, NodeStatus::kLocked);
+          const uint64_t locked_p = lease_inner_locked(seen_p);
           const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
                                       rdma::FaultSite::kLockAcquire);
           pre.execute();
@@ -736,7 +792,8 @@ bool RemoteTree::update(Slice key, Slice value) {
                                    static_cast<uint64_t>(idx) * 8),
                   parent.taken_word, new_slot,
                   rdma::FaultSite::kSlotInstall);
-              batch.add_cas(parent.addr, locked_p, seen_p);
+              batch.add_cas(parent.addr, locked_p, seen_p,
+                            rdma::FaultSite::kLockRelease);
               batch.execute();
               done = batch.cas_ok(cas_idx);
               if (done) {
@@ -745,20 +802,27 @@ bool RemoteTree::update(Slice key, Slice value) {
                 note_inner_write(parent.addr, fresh);
               }
             } else {
-              unlock_node(parent.addr, seen_p);
+              unlock_node(parent.addr, locked_p, seen_p);
             }
           } else {
             stats_.lock_fail_retries++;
+            const uint64_t obs_p = pre.old_value(lock_idx);
+            if (header_busy(obs_p)) note_busy_inner(tkey, parent.addr, obs_p);
           }
           if (!done) {
             allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
                             mem::AllocTag::kLeaf);
           }
+        } else {
+          note_busy_inner(tkey, parent.addr, seen_p);
         }
         if (done) {
-          // Old leaf: Locked -> Invalid; storage retired (not reused).
+          // Old leaf: Locked -> Invalid; storage retired (not reused). A
+          // crash before this write leaves the old leaf locked *and*
+          // detached; the reclaimer's reachability probe restores Invalid.
           endpoint_.write64(d.leaf_addr,
-                            with_status(seen, NodeStatus::kInvalid));
+                            with_status(seen, NodeStatus::kInvalid),
+                            rdma::FaultSite::kLockRelease);
           cluster_.alloc_stats().sub(
               mem::AllocTag::kLeaf,
               static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes,
@@ -766,7 +830,8 @@ bool RemoteTree::update(Slice key, Slice value) {
           return true;
         }
         // Release the leaf lock and retry.
-        endpoint_.cas(d.leaf_addr, locked, seen);
+        endpoint_.cas(d.leaf_addr, locked, seen, nullptr,
+                      rdma::FaultSite::kLockRelease);
         stats_.op_retries++;
         continue;
       }
@@ -787,11 +852,13 @@ bool RemoteTree::update(Slice key, Slice value) {
         }
         return false;
       case DescendStatus::kNeedRetry:
+      case DescendStatus::kTimedOut:
         stats_.op_retries++;
         if (r >= 4) allow_custom = false;
         continue;
     }
   }
+  stats_.recovery.retry_timeouts++;
   stats_.ops_failed++;
   return false;
 }
@@ -801,20 +868,27 @@ bool RemoteTree::update(Slice key, Slice value) {
 bool RemoteTree::remove(Slice key) {
   const TerminatedKey tkey(key);
   bool allow_custom = true;
-  for (uint32_t r = 0; r < config_.max_op_retries; ++r) {
-    retry_backoff(r);
+  rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
+  for (uint32_t r = 0;; ++r) {
+    if (!policy.backoff(r)) break;
     Descent& d = descend(tkey, allow_custom && r < 8);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();
         if (d.leaf.status() != NodeStatus::kIdle) {
+          // Raw remote word, not header(): see the update() busy path.
+          note_busy_leaf(tkey, d.leaf_addr, d.leaf.raw_header());
           stats_.op_retries++;
           continue;
         }
         // Idle -> Invalid is the linearization point (Sec. IV, Delete).
+        uint64_t observed = 0;
         if (!endpoint_.cas(d.leaf_addr, seen,
-                           with_status(seen, NodeStatus::kInvalid), nullptr,
+                           with_status(seen, NodeStatus::kInvalid), &observed,
                            rdma::FaultSite::kLockAcquire)) {
+          if (header_busy(observed)) {
+            note_busy_leaf(tkey, d.leaf_addr, observed);
+          }
           stats_.op_retries++;
           continue;
         }
@@ -822,9 +896,8 @@ bool RemoteTree::remove(Slice key) {
         // pointing at an Invalid leaf reads as absent everywhere.
         PathEntry& parent = d.path.back();
         const uint64_t seen_p = parent.image.header();
-        if (header_status(seen_p) == NodeStatus::kIdle &&
-            lock_node(parent.addr, seen_p, nullptr)) {
-          const uint64_t locked_p = with_status(seen_p, NodeStatus::kLocked);
+        uint64_t locked_p = 0;
+        if (lock_node(tkey, parent.addr, seen_p, nullptr, &locked_p)) {
           InnerImage fresh;
           RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh);
           const uint8_t branch = tkey.byte(parent.image.depth());
@@ -836,13 +909,14 @@ bool RemoteTree::remove(Slice key) {
                               kInnerHeaderBytes +
                               static_cast<uint64_t>(idx) * 8),
                           parent.taken_word, 0);
-            batch.add_cas(parent.addr, locked_p, seen_p);
+            batch.add_cas(parent.addr, locked_p, seen_p,
+                          rdma::FaultSite::kLockRelease);
             batch.execute();
             fresh.set_slot(static_cast<uint32_t>(idx), 0);
             fresh.set_header(seen_p);
             note_inner_write(parent.addr, fresh);
           } else {
-            unlock_node(parent.addr, seen_p);
+            unlock_node(parent.addr, locked_p, seen_p);
           }
         }
         cluster_.alloc_stats().sub(
@@ -868,13 +942,141 @@ bool RemoteTree::remove(Slice key) {
         }
         return false;
       case DescendStatus::kNeedRetry:
+      case DescendStatus::kTimedOut:
         stats_.op_retries++;
         if (r >= 4) allow_custom = false;
         continue;
     }
   }
+  stats_.recovery.retry_timeouts++;
   stats_.ops_failed++;
   return false;
+}
+
+// ---- crash-tolerant lock reclamation ----------------------------------------
+
+bool RemoteTree::note_busy_inner(const TerminatedKey& key,
+                                 rdma::GlobalAddr addr, uint64_t header) {
+  if (!header_busy(header)) return false;
+  if (!lock_watch_.observe(endpoint_, addr, header)) return false;
+  return reclaim_inner(key, addr, header);
+}
+
+bool RemoteTree::note_busy_leaf(const TerminatedKey& key,
+                                rdma::GlobalAddr addr, uint64_t header) {
+  if (!header_busy(header)) return false;
+  if (!lock_watch_.observe(endpoint_, addr, header)) return false;
+  return reclaim_leaf(key, addr, header);
+}
+
+int RemoteTree::probe_attached(const TerminatedKey& key,
+                               rdma::GlobalAddr target) {
+  if (target.to48() == ref_.root.to48()) return 1;
+  rdma::GlobalAddr addr = ref_.root;
+  NodeType type = NodeType::kN256;
+  InnerImage node;
+  for (uint32_t level = 0; level < kMaxKeyLen; ++level) {
+    // Uncached reads: the verdict must reflect remote memory, not a stale
+    // local cache.
+    endpoint_.read(addr, node.raw(), inner_node_bytes(type));
+    if (node.status() == NodeStatus::kInvalid || node.type() != type) {
+      return -1;  // raced with a concurrent switch; verdict unclear
+    }
+    const uint32_t depth = node.depth();
+    if (depth >= key.size()) return 0;
+    const int idx = node.find_pkey(key.byte(depth));
+    if (idx < 0) return 0;
+    const uint64_t slot_word = node.slot(static_cast<uint32_t>(idx));
+    const rdma::GlobalAddr child = slot_addr(slot_word);
+    if (child.to48() == target.to48()) return 1;
+    if (slot_is_leaf(slot_word)) return 0;
+    addr = child;
+    type = slot_child_type(slot_word);
+  }
+  return -1;
+}
+
+bool RemoteTree::reclaim_inner(const TerminatedKey& key, rdma::GlobalAddr addr,
+                               uint64_t expired_word) {
+  stats_.recovery.lease_expiries_observed++;
+  // Take over: the CAS expecting the exact watched word both wins the race
+  // against other waiters and re-confirms the word never moved.
+  const uint64_t reclaiming =
+      pack_inner_lease(expired_word, NodeStatus::kReclaiming, lease_owner(),
+                       lease_stamp(endpoint_.clock_ns()));
+  if (!endpoint_.cas(addr, expired_word, reclaiming, nullptr,
+                     rdma::FaultSite::kLockAcquire)) {
+    // The holder released, or another waiter reclaimed first.
+    lock_watch_.reset();
+    invalidate_inner(addr);
+    return true;
+  }
+  // A node a crashed type-switch already cut from the tree must come back
+  // Invalid: restoring it Idle would let stale pointers resurrect it and
+  // lose acknowledged writes landing in the detached copy.
+  int attached = -1;
+  for (uint32_t probe = 0; probe < 8 && attached < 0; ++probe) {
+    attached = probe_attached(key, addr);
+  }
+  const uint64_t hash42 = endpoint_.read64(addr.plus(8)) & ((1ULL << 42) - 1);
+  const uint64_t restored = pack_inner_header(
+      attached != 0 ? NodeStatus::kIdle : NodeStatus::kInvalid,
+      header_type(expired_word), header_depth(expired_word), hash42);
+  endpoint_.cas(addr, reclaiming, restored, nullptr,
+                rdma::FaultSite::kLockRelease);
+  stats_.recovery.lock_reclaims++;
+  lock_watch_.reset();
+  invalidate_inner(addr);
+  return true;
+}
+
+bool RemoteTree::reclaim_leaf(const TerminatedKey& key, rdma::GlobalAddr addr,
+                              uint64_t expired_word) {
+  stats_.recovery.lease_expiries_observed++;
+  const uint64_t reclaiming =
+      pack_leaf_lease(expired_word, NodeStatus::kReclaiming, lease_owner(),
+                      lease_stamp(endpoint_.clock_ns()));
+  if (!endpoint_.cas(addr, expired_word, reclaiming, nullptr,
+                     rdma::FaultSite::kLockAcquire)) {
+    lock_watch_.reset();
+    return true;
+  }
+  // Restore consistency from the leaf image: a crash before the body write
+  // validates against the header's lengths (the old value is intact); a
+  // crash after the body write validates against the trailer and the
+  // half-published update rolls *forward* (its body write was the
+  // linearization point).
+  const uint32_t units = leaf_units(expired_word);
+  LeafImage img;
+  img.resize(units);
+  LeafImage::Revalidate v = LeafImage::Revalidate::kBad;
+  for (uint32_t attempt = 0; attempt < config_.max_leaf_reread; ++attempt) {
+    endpoint_.read(addr, img.buf().data(), units * kLeafUnitBytes);
+    v = img.revalidate();
+    if (v != LeafImage::Revalidate::kBad) break;
+    stats_.torn_leaf_rereads++;
+  }
+  uint32_t klen = leaf_key_len(expired_word);
+  uint32_t vlen = leaf_val_len(expired_word);
+  if (v == LeafImage::Revalidate::kPatched) {
+    klen = img.key_len();
+    vlen = img.val_len();
+    stats_.recovery.lock_rollforwards++;
+  }
+  // A leaf an out-of-place update already unlinked must come back Invalid
+  // (same detachment argument as for inner nodes).
+  int attached = -1;
+  for (uint32_t probe = 0; probe < 8 && attached < 0; ++probe) {
+    attached = probe_attached(key, addr);
+  }
+  const uint64_t restored = pack_leaf_header(
+      attached != 0 ? NodeStatus::kIdle : NodeStatus::kInvalid, units, klen,
+      vlen);
+  endpoint_.cas(addr, reclaiming, restored, nullptr,
+                rdma::FaultSite::kLockRelease);
+  stats_.recovery.lock_reclaims++;
+  lock_watch_.reset();
+  return true;
 }
 
 // ---- scan -------------------------------------------------------------------

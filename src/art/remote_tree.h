@@ -34,6 +34,7 @@
 #include "memnode/cluster.h"
 #include "memnode/remote_allocator.h"
 #include "rdma/endpoint.h"
+#include "rdma/retry_policy.h"
 
 namespace sphinx::art {
 
@@ -46,6 +47,8 @@ struct TreeConfig {
   bool homogeneous_nodes = false;
   uint32_t max_op_retries = 256;
   uint32_t max_leaf_reread = 8;
+  // Backoff pacing between op retries (the budget is max_op_retries).
+  rdma::RetryPolicyConfig retry;
   // CPU charge for parsing/processing one node (fetched or cache-hit),
   // plus a per-byte term (copy + parse bandwidth): processing a 2 KiB
   // Node-256 image costs real CN cycles that a 56 B Node-4 does not.
@@ -62,6 +65,8 @@ struct TreeStats {
   uint64_t invalid_node_retries = 0;
   uint64_t start_fallbacks = 0;  // custom start abandoned for root descent
   uint64_t ops_failed = 0;       // retries exhausted (should stay 0)
+  rdma::RecoveryStats recovery;  // lease expiries / reclaims / timeouts
+  rdma::BackoffHistogram backoff;
 };
 
 // Bootstrap info for one tree. The root is a Node-256 with empty prefix;
@@ -109,6 +114,7 @@ class RemoteTree : public KvIndex {
     kLeafMismatch,      // reached a leaf holding a different key
     kFragMismatch,      // definite prefix mismatch inside a fragment window
     kNeedRetry,         // transient anomaly (invalid node, torn leaf, ...)
+    kTimedOut,          // per-op retry budget exhausted (RetryPolicy)
   };
 
   struct Descent {
@@ -218,6 +224,8 @@ class RemoteTree : public KvIndex {
   Descent descent_;
   // Scratch for insert()'s mismatched-leaf key (avoids a per-retry copy).
   std::string existing_key_scratch_;
+  // Single-slot lease-expiry watch (see rdma/retry_policy.h).
+  rdma::LockWatch lock_watch_;
 
   // Creates + remotely writes a leaf; returns its address and slot word.
   struct NewLeaf {
@@ -237,12 +245,57 @@ class RemoteTree : public KvIndex {
   }
 
   // Acquires `addr`'s node lock given the header we last saw (must be
-  // Idle); optionally piggybacks `pre_ops` (e.g. payload writes) in the
-  // same doorbell batch. On success re-reads the node into *fresh.
-  bool lock_node(rdma::GlobalAddr addr, uint64_t seen_header,
-                 InnerImage* fresh);
+  // Idle). On success re-reads the node into *fresh and stores the exact
+  // lease-stamped locked word (needed for the release CAS) in *locked_out.
+  // A non-Idle or contended header feeds the lease watch (note_busy_inner),
+  // reclaiming the lock if its lease has expired.
+  bool lock_node(const TerminatedKey& key, rdma::GlobalAddr addr,
+                 uint64_t seen_header, InnerImage* fresh,
+                 uint64_t* locked_out);
 
-  void unlock_node(rdma::GlobalAddr addr, uint64_t locked_header);
+  void unlock_node(rdma::GlobalAddr addr, uint64_t locked_header,
+                   uint64_t idle_header);
+
+  // ---- crash-tolerant locking (lease reclamation) --------------------------
+
+  uint8_t lease_owner() const {
+    return static_cast<uint8_t>(endpoint_.fault_client_id() & 0xff);
+  }
+  // The lease-stamped locked word for an Idle header we observed.
+  uint64_t lease_inner_locked(uint64_t seen_header) {
+    return pack_inner_lease(seen_header, NodeStatus::kLocked, lease_owner(),
+                            lease_stamp(endpoint_.clock_ns()));
+  }
+  uint64_t lease_leaf_locked(uint64_t seen_header) {
+    return pack_leaf_lease(seen_header, NodeStatus::kLocked, lease_owner(),
+                           lease_stamp(endpoint_.clock_ns()));
+  }
+
+  // Feed one busy (Locked/Reclaiming) observation of an inner/leaf header
+  // into the lease watch; reclaims the lock when the lease has expired.
+  // Returns true when the word changed under us (reclaimed or released) and
+  // an immediate retry is worthwhile.
+  bool note_busy_inner(const TerminatedKey& key, rdma::GlobalAddr addr,
+                       uint64_t header);
+  bool note_busy_leaf(const TerminatedKey& key, rdma::GlobalAddr addr,
+                      uint64_t header);
+
+  // Takes over an expired lock (CAS expects the exact watched word), then
+  // restores the node: reachable nodes go back to Idle (leaf images are
+  // validated and rolled forward from the trailer when the crashed holder
+  // left a half-published in-place update); nodes that a crashed
+  // type-switch / out-of-place update already cut from the tree are
+  // restored to Invalid so stale pointers retry instead of resurrecting
+  // them. Returns true when this client performed the reclamation.
+  bool reclaim_inner(const TerminatedKey& key, rdma::GlobalAddr addr,
+                     uint64_t expired_word);
+  bool reclaim_leaf(const TerminatedKey& key, rdma::GlobalAddr addr,
+                    uint64_t expired_word);
+
+  // Walks root -> leaf along `key` (uncached reads) checking whether
+  // `target` is still referenced by the tree. Returns 1 = attached,
+  // 0 = detached, -1 = undetermined (transient anomaly on the walk).
+  int probe_attached(const TerminatedKey& key, rdma::GlobalAddr target);
 
   // Insert sub-cases; each returns true when the insert completed, false
   // to retry the whole operation.

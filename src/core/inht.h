@@ -92,6 +92,8 @@ class InhtClient {
       total.splits += s.splits;
       total.dir_doublings += s.dir_doublings;
       total.dir_refreshes += s.dir_refreshes;
+      total.recovery += s.recovery;
+      total.backoff += s.backoff;
     }
     return total;
   }

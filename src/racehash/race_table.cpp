@@ -33,6 +33,21 @@ uint16_t suffix_of(uint64_t hash, uint8_t ld) {
   return static_cast<uint16_t>(hash & ((1ULL << ld) - 1));
 }
 
+// While a segment is locked, the top 8 bits of its 39-bit version field
+// carry the holder's client id; the true (monotonic) version keeps the low
+// 31 bits. Version comparisons only ever happen between *unlocked* headers,
+// where the owner bits are zero.
+uint64_t lease_version(uint8_t owner, uint64_t version) {
+  return (static_cast<uint64_t>(owner) << 31) | (version & 0x7fffffff);
+}
+uint64_t hdr_true_version(uint64_t w) { return hdr_version(w) & 0x7fffffff; }
+
+// Dir lock word: 0 = free, else 1<<63 | owner:8 << 23 | stamp:23.
+uint64_t pack_dir_lease(uint8_t owner, uint32_t stamp) {
+  return (1ULL << 63) | (static_cast<uint64_t>(owner) << 23) |
+         (stamp & rdma::kLeaseStamp23Mask);
+}
+
 }  // namespace
 
 TableRef create_table(mem::Cluster& cluster, uint32_t mn,
@@ -130,7 +145,12 @@ bool RaceClient::insert(uint64_t hash, uint64_t payload) {
   stats_.inserts++;
   const uint64_t entry = make_entry(hash, payload);
 
-  for (int attempt = 0; attempt < 256; ++attempt) {
+  rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (!policy.backoff(attempt)) {
+      stats_.recovery.retry_timeouts++;
+      return false;
+    }
     if (dir_cache_.empty()) refresh_directory();
     const uint64_t seg_offset = dir_cache_[dir_index(hash)];
     const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
@@ -146,6 +166,7 @@ bool RaceClient::insert(uint64_t hash, uint64_t payload) {
       batch.execute();
     }
     if (hdr_locked(header)) {
+      note_busy_segment(seg_offset, header);  // reclaims if the lease expires
       stats_.insert_retries++;
       continue;  // split in progress; retry
     }
@@ -187,23 +208,27 @@ bool RaceClient::insert(uint64_t hash, uint64_t payload) {
       return true;
     }
     // A split raced with our CAS; the entry may have been relocated or
-    // dropped. Verify by searching; reinsert if it vanished.
+    // dropped. Verify with a version-bracketed read (a plain search could
+    // observe the entry mid-split, just before the splitter's cleaned
+    // segment write clobbers it); reinsert if it vanished.
     std::vector<uint64_t> found;
     refresh_directory();
-    search(hash, found);
-    for (uint64_t p : found) {
-      if (p == payload) return true;
+    if (stable_search(hash, found)) {
+      for (uint64_t p : found) {
+        if (p == payload) return true;
+      }
     }
     stats_.insert_retries++;
   }
-  return false;
 }
 
 bool RaceClient::update(uint64_t hash, uint64_t old_payload,
                         uint64_t new_payload) {
   const uint64_t old_entry = make_entry(hash, old_payload);
   const uint64_t new_entry = make_entry(hash, new_payload);
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
+  for (uint32_t attempt = 0; attempt < retry_cfg_.max_attempts; ++attempt) {
+    if (!policy.backoff(attempt)) break;
     if (dir_cache_.empty()) refresh_directory();
     const uint64_t seg_offset = dir_cache_[dir_index(hash)];
     const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
@@ -217,7 +242,10 @@ bool RaceClient::update(uint64_t hash, uint64_t old_payload,
       batch.add_read(gaddr, group, sizeof(group));
       batch.execute();
     }
-    if (hdr_locked(header)) continue;
+    if (hdr_locked(header)) {
+      note_busy_segment(seg_offset, header);
+      continue;
+    }
     if (suffix_of(hash, hdr_ld(header)) != hdr_suffix(header)) {
       refresh_directory();
       continue;
@@ -243,20 +271,24 @@ bool RaceClient::update(uint64_t hash, uint64_t old_payload,
         !hdr_locked(header_after)) {
       return true;
     }
-    // Raced a split: confirm the new entry survived.
+    // Raced a split: confirm the new entry survived (version-bracketed).
     std::vector<uint64_t> found;
     refresh_directory();
-    search(hash, found);
-    for (uint64_t p : found) {
-      if (p == new_payload) return true;
+    if (stable_search(hash, found)) {
+      for (uint64_t p : found) {
+        if (p == new_payload) return true;
+      }
     }
   }
+  stats_.recovery.retry_timeouts++;
   return false;
 }
 
 bool RaceClient::erase(uint64_t hash, uint64_t payload) {
   const uint64_t entry = make_entry(hash, payload);
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
+  for (uint32_t attempt = 0; attempt < retry_cfg_.max_attempts; ++attempt) {
+    if (!policy.backoff(attempt)) break;
     if (dir_cache_.empty()) refresh_directory();
     const uint64_t seg_offset = dir_cache_[dir_index(hash)];
     const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
@@ -270,7 +302,10 @@ bool RaceClient::erase(uint64_t hash, uint64_t payload) {
       batch.add_read(gaddr, group, sizeof(group));
       batch.execute();
     }
-    if (hdr_locked(header)) continue;
+    if (hdr_locked(header)) {
+      note_busy_segment(seg_offset, header);
+      continue;
+    }
     if (suffix_of(hash, hdr_ld(header)) != hdr_suffix(header)) {
       refresh_directory();
       continue;
@@ -301,13 +336,15 @@ bool RaceClient::erase(uint64_t hash, uint64_t payload) {
     // relocation copied it and we must erase again).
     std::vector<uint64_t> found;
     refresh_directory();
-    search(hash, found);
-    bool still_there = false;
-    for (uint64_t p : found) {
-      if (p == payload) still_there = true;
+    if (stable_search(hash, found)) {
+      bool still_there = false;
+      for (uint64_t p : found) {
+        if (p == payload) still_there = true;
+      }
+      if (!still_there) return true;
     }
-    if (!still_there) return true;
   }
+  stats_.recovery.retry_timeouts++;
   return false;
 }
 
@@ -315,39 +352,38 @@ bool RaceClient::split_segment(uint64_t hash) {
   // Serialize splits (and directory doubling) behind the directory lock.
   // Splits are rare -- amortized once per kGroupsPerSegment*kSlotsPerGroup
   // inserts -- so coarse serialization costs little.
-  for (int spin = 0; spin < (1 << 20); ++spin) {
-    if (endpoint_.cas(table_.dir_lock, 0, 1, nullptr,
-                      rdma::FaultSite::kTableLock)) {
-      break;
-    }
-    if (spin == (1 << 20) - 1) return false;
-  }
+  if (!lock_directory()) return false;
 
-  bool ok = true;
   refresh_directory();
   const uint64_t seg_offset = dir_cache_[dir_index(hash)];
   const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
   uint64_t header = endpoint_.read64(header_addr);
 
-  // Somebody else may have split this segment before we got the lock; if
-  // the group is no longer full the caller's retry will discover it.
+  // Segment locks are only ever taken while holding the dir lock, which we
+  // now hold: a locked header here belongs to a crashed splitter. Recover
+  // it, then let the caller's retry re-evaluate (the group may have room).
   if (hdr_locked(header)) {
-    endpoint_.write64(table_.dir_lock, 0);
+    recover_segment(seg_offset, header);
+    unlock_directory();
     return true;
   }
   const uint8_t ld = hdr_ld(header);
   const uint16_t suffix = hdr_suffix(header);
 
   if (ld >= kMaxGlobalDepth) {
-    endpoint_.write64(table_.dir_lock, 0);
+    unlock_directory();
     return false;  // table at maximum size; group genuinely full
   }
 
-  // Lock the segment (bump version so racing CAS writers detect us).
-  if (!endpoint_.cas(header_addr, header,
-                     pack_header(true, hdr_version(header) + 1, suffix, ld),
-                     nullptr, rdma::FaultSite::kTableLock)) {
-    endpoint_.write64(table_.dir_lock, 0);
+  // Lock the segment (bump version so racing CAS writers detect us; the
+  // version field's top bits carry our id while the lock is held).
+  const uint8_t owner = static_cast<uint8_t>(endpoint_.fault_client_id());
+  if (!endpoint_.cas(
+          header_addr, header,
+          pack_header(true, lease_version(owner, hdr_true_version(header) + 1),
+                      suffix, ld),
+          nullptr, rdma::FaultSite::kTableLock)) {
+    unlock_directory();
     return true;  // raced; caller retries
   }
 
@@ -374,12 +410,13 @@ bool RaceClient::split_segment(uint64_t hash) {
       image[w] = 0;
     }
   }
-  image[0] = pack_header(false, hdr_version(header) + 2, suffix, new_ld);
+  image[0] = pack_header(false, hdr_true_version(header) + 2, suffix, new_ld);
   sibling[0] = pack_header(false, 0, sibling_suffix, new_ld);
 
   rdma::GlobalAddr sibling_addr =
       allocator_.alloc(table_.mn, kSegmentBytes, mem::AllocTag::kHashTable);
-  endpoint_.write(sibling_addr, sibling.data(), kSegmentBytes);
+  endpoint_.write(sibling_addr, sibling.data(), kSegmentBytes,
+                  rdma::FaultSite::kSplitSibling);
 
   // Point the directory entries whose suffix selects the sibling at it.
   const uint64_t desc = endpoint_.read64(table_.descriptor);
@@ -391,19 +428,234 @@ bool RaceClient::split_segment(uint64_t hash) {
     for (uint64_t j = sibling_suffix; j < (1ULL << gd);
          j += (1ULL << new_ld)) {
       batch.add_write(rdma::GlobalAddr(table_.mn, dir_base + j * 8), &sib_off,
-                      8);
+                      8, rdma::FaultSite::kSplitDir);
     }
     batch.execute();
   }
 
   // Publish the cleaned original segment (also unlocks it).
   endpoint_.write(rdma::GlobalAddr(table_.mn, seg_offset), image.data(),
-                  kSegmentBytes);
+                  kSegmentBytes, rdma::FaultSite::kSplitPublish);
 
-  endpoint_.write64(table_.dir_lock, 0);
+  unlock_directory();
   refresh_directory();
   stats_.splits++;
-  return ok;
+  return true;
+}
+
+bool RaceClient::lock_directory() {
+  rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
+  const uint8_t owner = static_cast<uint8_t>(endpoint_.fault_client_id());
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (!policy.backoff(attempt)) {
+      stats_.recovery.retry_timeouts++;
+      return false;
+    }
+    const uint64_t mine =
+        pack_dir_lease(owner, rdma::lease_stamp23(endpoint_.clock_ns()));
+    uint64_t observed = 0;
+    if (endpoint_.cas(table_.dir_lock, 0, mine, &observed,
+                      rdma::FaultSite::kTableLock)) {
+      dir_watch_.reset();
+      return true;
+    }
+    if (observed == 0) continue;  // injected CAS failure; plain retry
+    if (!dir_watch_.observe(endpoint_, table_.dir_lock, observed)) continue;
+    // The identical lease word sat there for a full lease: the holder
+    // crashed. Take the lock over by CASing the watched word out.
+    stats_.recovery.lease_expiries_observed++;
+    if (endpoint_.cas(table_.dir_lock, observed, mine, nullptr,
+                      rdma::FaultSite::kTableLock)) {
+      stats_.recovery.lock_reclaims++;
+      dir_watch_.reset();
+      return true;
+    }
+    dir_watch_.reset();  // the word moved under us: progress was made
+  }
+}
+
+void RaceClient::unlock_directory() {
+  endpoint_.write64(table_.dir_lock, 0, rdma::FaultSite::kLockRelease);
+}
+
+void RaceClient::note_busy_segment(uint64_t seg_offset, uint64_t header) {
+  if (!hdr_locked(header)) return;
+  const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+  if (!seg_watch_.observe(endpoint_, header_addr, header)) return;
+  // The identical locked word sat there for a full lease: the splitter
+  // crashed. Recover under the dir lock -- a crashed splitter held that
+  // too, in which case lock_directory() reclaims it first.
+  stats_.recovery.lease_expiries_observed++;
+  if (lock_directory()) {
+    const uint64_t now = endpoint_.read64(header_addr);
+    if (now == header) {
+      recover_segment(seg_offset, now);
+    }
+    unlock_directory();
+  }
+  seg_watch_.reset();
+}
+
+void RaceClient::recover_segment(uint64_t seg_offset, uint64_t locked_header) {
+  const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
+  const uint8_t ld = hdr_ld(locked_header);
+  const uint16_t suffix = hdr_suffix(locked_header);
+  const uint8_t new_ld = ld + 1;
+  const uint16_t sibling_suffix = static_cast<uint16_t>(suffix | (1u << ld));
+  const uint64_t true_v = hdr_true_version(locked_header);
+
+  // How far did the crashed splitter get? The sibling segment is fully
+  // written before any directory alias points at it, so an alias that no
+  // longer targets this segment proves the sibling image is complete.
+  const uint64_t desc = endpoint_.read64(table_.descriptor);
+  const uint8_t gd = desc_gd(desc);
+  const uint64_t dir_base = desc_offset(desc);
+  bool sibling_visible = false;
+  uint64_t sibling_off = 0;
+  if (gd >= new_ld) {
+    for (uint64_t j = sibling_suffix; j < (1ULL << gd); j += 1ULL << new_ld) {
+      const uint64_t e =
+          endpoint_.read64(rdma::GlobalAddr(table_.mn, dir_base + j * 8));
+      if (e != seg_offset) {
+        sibling_visible = true;
+        sibling_off = e;
+        break;
+      }
+    }
+  }
+
+  if (!sibling_visible) {
+    // Roll back: no alias moved, so no reader ever reached the sibling
+    // (the crashed splitter's half-written sibling, if any, is leaked).
+    // Unlocking with a bumped version suffices -- every entry is still in
+    // place, and writers whose CAS raced the crashed lock fail their
+    // version check and re-verify through stable_search.
+    endpoint_.write64(header_addr, pack_header(false, true_v + 1, suffix, ld),
+                      rdma::FaultSite::kSplitPublish);
+    stats_.recovery.lock_reclaims++;
+    refresh_directory();
+    return;
+  }
+
+  // Roll forward: finish the split against the *live* segment contents (the
+  // crashed splitter's sibling image may predate entries CAS'd into the
+  // original after its snapshot). Lock the sibling first so no raced insert
+  // can be acknowledged between our snapshot and our full-segment publish.
+  const rdma::GlobalAddr sibling_addr(table_.mn, sibling_off);
+  const uint8_t owner = static_cast<uint8_t>(endpoint_.fault_client_id());
+  uint64_t sib_hdr = endpoint_.read64(sibling_addr);
+  for (int i = 0; i < 16 && !hdr_locked(sib_hdr); ++i) {
+    // Headers only change under the dir lock (which we hold), so this CAS
+    // can lose only to injected failures.
+    const uint64_t locked =
+        pack_header(true, lease_version(owner, hdr_true_version(sib_hdr) + 1),
+                    hdr_suffix(sib_hdr), hdr_ld(sib_hdr));
+    if (endpoint_.cas(sibling_addr, sib_hdr, locked, &sib_hdr,
+                      rdma::FaultSite::kTableLock)) {
+      sib_hdr = locked;
+    }
+  }
+  if (!hdr_locked(sib_hdr)) {
+    return;  // persistent injected CAS failure; the next recoverer retries
+  }
+  // (hdr_locked on entry means an earlier recoverer crashed mid
+  // roll-forward while holding the sibling lock; under the dir lock that
+  // holder is dead too, so we proceed over its lease.)
+
+  std::vector<uint64_t> image(kSegmentBytes / 8);
+  endpoint_.read(header_addr, image.data(), kSegmentBytes);
+  std::vector<uint64_t> sibling(kSegmentBytes / 8);
+  endpoint_.read(sibling_addr, sibling.data(), kSegmentBytes);
+
+  for (uint64_t w = kSegmentHeaderBytes / 8; w < image.size(); ++w) {
+    const uint64_t entry = image[w];
+    if (!entry_valid(entry)) continue;
+    const uint64_t h = rehasher_(entry_payload(entry));
+    if (((h >> ld) & 1) == 0) continue;
+    image[w] = 0;
+    if (sibling[w] == entry) continue;  // the crashed splitter moved it
+    if (sibling[w] == 0) {
+      sibling[w] = entry;
+      continue;
+    }
+    // Slot taken by an entry inserted directly into the sibling: use any
+    // free slot in the same group. A full group (vanishingly rare during
+    // recovery) keeps the entry in the original, where lookups miss it --
+    // Sphinx treats INHT misses as cache misses, so this degrades, never
+    // corrupts.
+    const uint64_t g0 =
+        kSegmentHeaderBytes / 8 +
+        ((w - kSegmentHeaderBytes / 8) / kSlotsPerGroup) * kSlotsPerGroup;
+    bool placed = false;
+    for (uint64_t s = g0; s < g0 + kSlotsPerGroup; ++s) {
+      if (sibling[s] == entry) {
+        placed = true;
+        break;
+      }
+      if (sibling[s] == 0) {
+        sibling[s] = entry;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) image[w] = entry;
+  }
+  sibling[0] = pack_header(false, hdr_true_version(sib_hdr) + 2,
+                           hdr_suffix(sib_hdr), hdr_ld(sib_hdr));
+  image[0] = pack_header(false, true_v + 1, suffix, new_ld);
+
+  // Publish order mirrors the original split: sibling (its version bump
+  // invalidates raced-in CAS acks), directory aliases (idempotent redo),
+  // then the cleaned original -- which also unlocks it.
+  endpoint_.write(sibling_addr, sibling.data(), kSegmentBytes,
+                  rdma::FaultSite::kSplitSibling);
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    for (uint64_t j = sibling_suffix; j < (1ULL << gd); j += 1ULL << new_ld) {
+      batch.add_write(rdma::GlobalAddr(table_.mn, dir_base + j * 8),
+                      &sibling_off, 8, rdma::FaultSite::kSplitDir);
+    }
+    batch.execute();
+  }
+  endpoint_.write(header_addr, image.data(), kSegmentBytes,
+                  rdma::FaultSite::kSplitPublish);
+  stats_.recovery.lock_reclaims++;
+  stats_.recovery.lock_rollforwards++;
+  refresh_directory();
+}
+
+bool RaceClient::stable_search(uint64_t hash,
+                               std::vector<uint64_t>& payloads_out) {
+  rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (!policy.backoff(attempt)) {
+      stats_.recovery.retry_timeouts++;
+      return false;
+    }
+    if (dir_cache_.empty()) refresh_directory();
+    const uint64_t seg_offset = dir_cache_[dir_index(hash)];
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    uint64_t group[kSlotsPerGroup];
+    rdma::DoorbellBatch batch(endpoint_);
+    batch.add_read(rdma::GlobalAddr(table_.mn, seg_offset), &h1, 8);
+    batch.add_read(group_addr(seg_offset, hash), group, sizeof(group));
+    batch.add_read(rdma::GlobalAddr(table_.mn, seg_offset), &h2, 8);
+    batch.execute();
+    if (hdr_locked(h1) || hdr_locked(h2)) {
+      note_busy_segment(seg_offset, hdr_locked(h1) ? h1 : h2);
+      continue;
+    }
+    if (h1 != h2) continue;  // a split completed mid-bracket
+    if (suffix_of(hash, hdr_ld(h1)) != hdr_suffix(h1)) {
+      refresh_directory();
+      continue;
+    }
+    // Both brackets unlocked with equal versions: versions move on every
+    // unlock, so the group image was read in a split-free window.
+    match_group(hash, group, payloads_out);
+    return true;
+  }
 }
 
 void RaceClient::double_directory() {
@@ -422,9 +674,11 @@ void RaceClient::double_directory() {
 
   rdma::GlobalAddr new_dir =
       allocator_.alloc(table_.mn, n * 2 * 8, mem::AllocTag::kHashTable);
-  endpoint_.write(new_dir, doubled.data(), n * 2 * 8);
+  endpoint_.write(new_dir, doubled.data(), n * 2 * 8,
+                  rdma::FaultSite::kSplitSibling);
   endpoint_.write64(table_.descriptor,
-                    pack_descriptor(gd + 1, new_dir.offset()));
+                    pack_descriptor(gd + 1, new_dir.offset()),
+                    rdma::FaultSite::kSplitDir);
   // The old directory array is leaked intentionally: readers may still be
   // probing through it, and reclaiming it safely would need an epoch
   // scheme. Directory arrays are tiny (2^gd * 8 B).

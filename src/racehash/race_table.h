@@ -3,7 +3,8 @@
 //
 // MN-side layout:
 //   descriptor word (bootstrap slot): global_depth:8 | directory offset:48
-//   dir lock word   (bootstrap slot): 0 = free, 1 = locked
+//   dir lock word   (bootstrap slot): 0 = free, else a lease
+//                                     1<<63 | owner:8 << 23 | stamp:23
 //   directory:  2^global_depth segment offsets (8 B each)
 //   segment:    64 B header | kGroupsPerSegment groups
 //   group:      kSlotsPerGroup 8-byte entries (128 B -> one RDMA READ)
@@ -19,6 +20,18 @@
 // treat a miss as a cache-style miss and fall back, so this never affects
 // index correctness.
 //
+// Crash tolerance: both locks are crash-recoverable. The dir lock carries
+// an {owner, stamp} lease; a waiter that watches the identical lease word
+// for a full lease period (rdma/retry_policy.h) CASes it over. Segment
+// locks are only ever taken while holding the dir lock, so any locked
+// segment header observed *under* the dir lock belongs to a crashed
+// splitter; recover_segment() rolls the half-finished split back (sibling
+// never became visible) or forward (redoes the sibling merge, directory
+// writes and cleaned-segment publish from the live segment contents).
+// Mutators confirm raced entries with a version-bracketed group read
+// (stable_search) -- a plain search can observe an entry mid-split that
+// the splitter's cleaned-segment write then clobbers.
+//
 // Hash-bit usage: directory index = low bits [0, gd) (gd <= 16 enforced);
 // group index = bits [16, 16+log2(groups)); fingerprint = bits [52, 64).
 #pragma once
@@ -30,6 +43,8 @@
 #include "memnode/cluster.h"
 #include "memnode/remote_allocator.h"
 #include "racehash/race_entry.h"
+#include "rdma/retry_policy.h"
+#include "rdma/stats.h"
 
 namespace sphinx::race {
 
@@ -65,6 +80,8 @@ struct RaceStats {
   uint64_t splits = 0;
   uint64_t dir_doublings = 0;
   uint64_t dir_refreshes = 0;
+  rdma::RecoveryStats recovery;  // lease expiries / reclaims / timeouts
+  rdma::BackoffHistogram backoff;
 };
 
 // Per-client handle. Not thread-safe (one per worker, like an Endpoint).
@@ -133,6 +150,29 @@ class RaceClient {
   bool split_segment(uint64_t hash);
   void double_directory();
 
+  // ---- crash-tolerant locking ----------------------------------------------
+
+  // Acquires the directory lock, reclaiming an expired (crashed-holder)
+  // lease. Returns false once the retry budget is exhausted.
+  bool lock_directory();
+  void unlock_directory();
+
+  // Feeds one locked-segment-header observation into the lease watch; once
+  // it expires, takes the dir lock and recovers the orphaned segment.
+  void note_busy_segment(uint64_t seg_offset, uint64_t header);
+
+  // Pre: caller holds the dir lock, `locked_header` was just read from the
+  // segment at `seg_offset` and is locked -- which, under the dir lock,
+  // proves its holder crashed. Rolls the split back or forward.
+  void recover_segment(uint64_t seg_offset, uint64_t locked_header);
+
+  // Presence/absence decided only from a group image bracketed by two
+  // identical *unlocked* header reads in one doorbell batch, so an
+  // in-flight split can never produce a false verdict. Used by mutators to
+  // confirm entries after racing a split. Returns false when no stable
+  // bracket was achieved within the retry budget.
+  bool stable_search(uint64_t hash, std::vector<uint64_t>& payloads_out);
+
   mem::Cluster& cluster_;
   rdma::Endpoint& endpoint_;
   mem::RemoteAllocator& allocator_;
@@ -143,6 +183,9 @@ class RaceClient {
   uint8_t global_depth_ = 0;
   std::vector<uint64_t> dir_cache_;  // segment offsets
   RaceStats stats_;
+  rdma::RetryPolicyConfig retry_cfg_;
+  rdma::LockWatch dir_watch_;  // dir lock lease expiry
+  rdma::LockWatch seg_watch_;  // segment lock lease expiry
 };
 
 }  // namespace sphinx::race

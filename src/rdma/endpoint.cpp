@@ -9,9 +9,18 @@ namespace sphinx::rdma {
 bool Endpoint::fault_gate(VerbKind kind, uint32_t mn, FaultSite site) {
   FaultInjector* injector = fabric_.fault_injector();
   if (injector == nullptr) return false;
+  assert(!crashed_ && "a crashed endpoint issued a verb");
   for (uint32_t attempt = 0;; ++attempt) {
+    const uint64_t seq = fault_verb_seq_++;
     const FaultDecision d = injector->on_verb(
-        VerbDesc{kind, mn, fault_client_id_, fault_verb_seq_++, site});
+        VerbDesc{kind, mn, fault_client_id_, seq, site});
+    if (d.crash) {
+      // The client dies *before* this verb reaches memory. Earlier verbs of
+      // the same doorbell batch have already applied (a crash mid payload
+      // write); whatever locks the client holds stay set until reclaimed.
+      crashed_ = true;
+      throw ClientCrashed{fault_client_id_, seq, site};
+    }
     if (d.delay_ns > 0) clock_ns_ += d.delay_ns;
     if (d.stall_ns > 0) {
       // A stall widens real race windows too, not just virtual ones.
@@ -41,12 +50,14 @@ void DoorbellBatch::add_read(GlobalAddr addr, void* dst, size_t len) {
   ops_.push_back(op);
 }
 
-void DoorbellBatch::add_write(GlobalAddr addr, const void* src, size_t len) {
+void DoorbellBatch::add_write(GlobalAddr addr, const void* src, size_t len,
+                              FaultSite site) {
   Op op;
   op.type = OpType::kWrite;
   op.addr = addr;
   op.src = src;
   op.len = len;
+  op.site = site;
   ops_.push_back(op);
 }
 

@@ -34,7 +34,10 @@ class DoorbellBatch {
   // Destination/source buffers must stay alive until execute() returns,
   // matching real verbs semantics.
   void add_read(GlobalAddr addr, void* dst, size_t len);
-  void add_write(GlobalAddr addr, const void* src, size_t len);
+  // `site` tags protocol steps for crash targeting (kPayloadWrite,
+  // kLockRelease, ...); writes are never CAS-failed regardless of tag.
+  void add_write(GlobalAddr addr, const void* src, size_t len,
+                 FaultSite site = FaultSite::kNone);
   // Returns the op index used to query the CAS outcome after execute().
   // `site` tags retry-safe CAS call sites for fault injection (see
   // fault_injector.h); the default kNone marks the op as never injectable.
@@ -70,7 +73,7 @@ class DoorbellBatch {
     uint64_t desired = 0;   // cas / faa delta
     uint64_t old_value = 0;
     bool cas_ok = false;
-    FaultSite site = FaultSite::kNone;  // cas: injectability tag
+    FaultSite site = FaultSite::kNone;  // cas/write: protocol-step tag
   };
 
   void apply_one(Op& op);
@@ -98,8 +101,11 @@ class Endpoint {
     if (metered_) stats_.reads++;
   }
 
-  void write(GlobalAddr addr, const void* src, size_t len) {
-    if (faulty()) fault_gate(VerbKind::kWrite, addr.mn(), FaultSite::kNone);
+  // `site` tags protocol steps for crash targeting; writes are never
+  // CAS-failed regardless of tag.
+  void write(GlobalAddr addr, const void* src, size_t len,
+             FaultSite site = FaultSite::kNone) {
+    if (faulty()) fault_gate(VerbKind::kWrite, addr.mn(), site);
     fabric_.region(addr.mn()).write_bytes(addr.offset(), src, len);
     charge_single(addr.mn(), len, /*is_read=*/false);
     if (metered_) stats_.writes++;
@@ -111,7 +117,10 @@ class Endpoint {
     return v;
   }
 
-  void write64(GlobalAddr addr, uint64_t v) { write(addr, &v, sizeof(v)); }
+  void write64(GlobalAddr addr, uint64_t v,
+               FaultSite site = FaultSite::kNone) {
+    write(addr, &v, sizeof(v), site);
+  }
 
   // `site` tags retry-safe call sites for CAS fault injection (see
   // fault_injector.h). An injected failure performs no swap and reports
@@ -173,6 +182,10 @@ class Endpoint {
   uint32_t fault_client_id() const { return fault_client_id_; }
   uint64_t fault_verb_seq() const { return fault_verb_seq_; }
 
+  // True once a kClientCrash rule killed this endpoint; it must never issue
+  // another verb (workers abandon it and reincarnate with a fresh one).
+  bool crashed() const { return crashed_; }
+
   // True when verbs from this endpoint are subject to fault injection.
   bool faulty() const {
     return metered_ && fabric_.fault_injector() != nullptr;
@@ -225,6 +238,7 @@ class Endpoint {
   EndpointStats stats_;
   uint32_t fault_client_id_;
   uint64_t fault_verb_seq_ = 0;
+  bool crashed_ = false;
 };
 
 }  // namespace sphinx::rdma

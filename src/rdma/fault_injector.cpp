@@ -57,8 +57,14 @@ bool FaultInjector::rule_fires(const FaultRule& rule, size_t rule_idx,
   }
   if (rule.kind == FaultKind::kCasFail) {
     if (v.kind != VerbKind::kCas) return false;
-    if (v.site == FaultSite::kNone) return false;  // untagged: protected
+    // Only retry-safe tagged CAS sites may lose their race; releases and
+    // payload writes are protected so CAS-fail cannot wedge a lock.
+    if (!cas_fail_injectable(v.site)) return false;
     if (rule.site != FaultSite::kAny && rule.site != v.site) return false;
+  }
+  if (rule.kind == FaultKind::kClientCrash &&
+      rule.site != FaultSite::kAny && rule.site != v.site) {
+    return false;
   }
   if (rule.probability < 1.0) {
     if (rule.probability <= 0.0) return false;
@@ -137,6 +143,11 @@ FaultDecision FaultInjector::on_verb(const VerbDesc& v) {
         break;
       case FaultKind::kMnOffline:
         d.reject = true;
+        break;
+      case FaultKind::kClientCrash:
+        d.crash = true;
+        counters_.client_crashes.fetch_add(1, std::memory_order_relaxed);
+        record(FaultKind::kClientCrash, v);
         break;
     }
   }

@@ -3,7 +3,7 @@
 // A FaultInjector is installed on a Fabric (see fabric.h); every *metered*
 // verb an Endpoint or DoorbellBatch issues consults it first. Unmetered
 // endpoints (bootstrap / bulk loading) bypass injection entirely, so setup
-// code can never be faulted. Four fault classes are supported:
+// code can never be faulted. Five fault classes are supported:
 //
 //   * kCasFail   -- a CAS verb "loses its race": nothing is swapped and the
 //                   caller sees failure with the word's true current value,
@@ -22,6 +22,15 @@
 //                   a retryable error. The endpoint charges a timeout and
 //                   reissues until the MN comes back (or a retry cap trips,
 //                   counted as offline_giveups).
+//   * kClientCrash -- the endpoint dies *before* the matched verb executes:
+//                   Endpoint::fault_gate throws ClientCrashed, the verb (and,
+//                   in a doorbell batch, every later verb -- earlier ones
+//                   have already applied, modelling a crash mid payload
+//                   write) never reaches memory, and the client never acts
+//                   again. Locks it held stay set until a waiter's lease
+//                   watch expires and reclaims them. Target a protocol step
+//                   by filtering on its FaultSite (crash rules may name any
+//                   site, including the write-path tags below).
 //
 // Determinism: probabilistic rules decide from a pure hash of
 // (seed, client_id, per-endpoint verb sequence, rule index), so a single
@@ -44,14 +53,23 @@ namespace sphinx::rdma {
 
 enum class VerbKind : uint8_t { kRead = 0, kWrite = 1, kCas = 2, kFaa = 3 };
 
-enum class FaultKind : uint8_t { kCasFail, kDelay, kStall, kMnOffline };
+enum class FaultKind : uint8_t {
+  kCasFail,
+  kDelay,
+  kStall,
+  kMnOffline,
+  kClientCrash,
+};
 
-// Call-site tag for CAS verbs. Only tagged sites may have failures
-// injected; a site must handle CAS failure by retrying (all tagged sites
-// below do). kNone marks protocol steps whose CAS cannot fail in a correct
-// execution (lock releases, best-effort cleanup) -- never injectable.
+// Call-site tag for verbs. For kCasFail only the retry-safe CAS sites (see
+// cas_fail_injectable) may have failures injected; protocol steps whose CAS
+// cannot fail in a correct execution (lock releases, best-effort cleanup)
+// are never CAS-failed, so injection cannot wedge a node lock. kClientCrash
+// rules, by contrast, may match *any* site -- including the write-path tags
+// and kLockRelease -- because a crash is exactly the event the reclamation
+// protocol must survive.
 enum class FaultSite : uint8_t {
-  kNone = 0,      // untagged: never injectable
+  kNone = 0,      // untagged
   kAny,           // rule filter only: matches every tagged site
   kLockAcquire,   // node/leaf lock acquisition (Idle -> Locked, and the
                   // delete linearization CAS Idle -> Invalid)
@@ -60,7 +78,20 @@ enum class FaultSite : uint8_t {
   kHashUpdate,    // RACE table: replace an entry (INHT type switch)
   kHashErase,     // RACE table: clear an entry
   kTableLock,     // RACE table: directory / segment lock acquisition
+  // Write-path tags (crash targeting only; never CAS-failed):
+  kPayloadWrite,  // leaf / new-node body write under a held lock
+  kLockRelease,   // lock release CAS or combined release+publish write
+  kSplitSibling,  // RACE split: sibling segment body write
+  kSplitDir,      // RACE split: directory entry redirection writes
+  kSplitPublish,  // RACE split: cleaned original segment write (unlocks)
 };
+
+// The sites eligible for kCasFail injection: tagged *retry-safe* CAS steps.
+constexpr bool cas_fail_injectable(FaultSite s) {
+  return s == FaultSite::kLockAcquire || s == FaultSite::kSlotInstall ||
+         s == FaultSite::kHashInsert || s == FaultSite::kHashUpdate ||
+         s == FaultSite::kHashErase || s == FaultSite::kTableLock;
+}
 
 constexpr uint32_t verb_bit(VerbKind k) {
   return 1u << static_cast<uint32_t>(k);
@@ -92,8 +123,19 @@ struct VerbDesc {
 struct FaultDecision {
   bool fail_cas = false;  // CAS must report failure without swapping
   bool reject = false;    // MN offline: retryable error, verb not executed
+  bool crash = false;     // client dies before this verb executes
   uint64_t delay_ns = 0;  // extra virtual latency to charge
   uint64_t stall_ns = 0;  // stall (virtual ns; endpoint also yields)
+};
+
+// Thrown by Endpoint::fault_gate when a kClientCrash rule fires: the verb
+// never executes and the endpoint must not be used again. Callers at the
+// worker level catch this, abandon the endpoint (its held locks stay set
+// for lease reclamation), and optionally reincarnate as a new client.
+struct ClientCrashed {
+  uint32_t client_id = 0;
+  uint64_t seq = 0;       // per-endpoint verb sequence of the fatal verb
+  FaultSite site = FaultSite::kNone;
 };
 
 // One injected fault, for reproducibility checks (set_recording).

@@ -84,16 +84,18 @@ struct FaultStats {
   uint64_t stalls = 0;           // verbs preceded by an endpoint stall
   uint64_t offline_rejects = 0;  // verbs rejected by an offline MN
   uint64_t offline_giveups = 0;  // endpoint retry cap hit while MN offline
+  uint64_t client_crashes = 0;   // endpoints killed mid-protocol
 
   uint64_t total_faults() const {
-    return cas_failures + delays + stalls + offline_rejects;
+    return cas_failures + delays + stalls + offline_rejects + client_crashes;
   }
 
   bool operator==(const FaultStats& o) const {
     return verbs_inspected == o.verbs_inspected &&
            cas_failures == o.cas_failures && delays == o.delays &&
            stalls == o.stalls && offline_rejects == o.offline_rejects &&
-           offline_giveups == o.offline_giveups;
+           offline_giveups == o.offline_giveups &&
+           client_crashes == o.client_crashes;
   }
 };
 
@@ -106,6 +108,7 @@ struct FaultCounters {
   std::atomic<uint64_t> stalls{0};
   std::atomic<uint64_t> offline_rejects{0};
   std::atomic<uint64_t> offline_giveups{0};
+  std::atomic<uint64_t> client_crashes{0};
 
   FaultStats snapshot() const {
     FaultStats s;
@@ -115,7 +118,49 @@ struct FaultCounters {
     s.stalls = stalls.load(std::memory_order_relaxed);
     s.offline_rejects = offline_rejects.load(std::memory_order_relaxed);
     s.offline_giveups = offline_giveups.load(std::memory_order_relaxed);
+    s.client_crashes = client_crashes.load(std::memory_order_relaxed);
     return s;
+  }
+};
+
+// Crash-recovery counters kept by every lock-taking client (tree and RACE
+// table alike); aggregated into bench JSON next to FaultStats.
+struct RecoveryStats {
+  uint64_t lease_expiries_observed = 0;  // watch saw a lease run out
+  uint64_t lock_reclaims = 0;            // reclaim CAS won; node restored
+  uint64_t lock_rollforwards = 0;        // reclaimed image rolled forward
+  uint64_t retry_timeouts = 0;           // per-op retry budget exhausted
+
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    lease_expiries_observed += o.lease_expiries_observed;
+    lock_reclaims += o.lock_reclaims;
+    lock_rollforwards += o.lock_rollforwards;
+    retry_timeouts += o.retry_timeouts;
+    return *this;
+  }
+};
+
+// Log2 histogram of the virtual backoff waits charged by RetryPolicy:
+// bucket i counts waits in [2^i, 2^(i+1)) ns.
+struct BackoffHistogram {
+  static constexpr uint32_t kBuckets = 24;
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t waits = 0;
+  uint64_t wait_ns = 0;
+
+  void record(uint64_t ns) {
+    waits++;
+    wait_ns += ns;
+    uint32_t b = 0;
+    while ((2ULL << b) <= ns && b + 1 < kBuckets) ++b;
+    buckets[b]++;
+  }
+
+  BackoffHistogram& operator+=(const BackoffHistogram& o) {
+    for (uint32_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    waits += o.waits;
+    wait_ns += o.wait_ns;
+    return *this;
   }
 };
 

@@ -84,6 +84,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     rdma::EndpointStats net;
     uint64_t misses = 0;
     uint64_t insert_overflow = 0;
+    uint64_t client_crashes = 0;
     uint64_t end_clock_ns = 0;
   };
   std::vector<WorkerOut> outs(options.workers);
@@ -93,52 +94,81 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     threads.emplace_back([&, w] {
       WorkerOut& out = outs[w];
       const uint32_t cn = w % num_cns;
-      rdma::Endpoint endpoint(cluster_.fabric(), cn, /*metered=*/true);
-      // Distinct per worker (not per CN) so probabilistic fault schedules
-      // are a pure function of the worker, independent of thread timing.
-      endpoint.set_fault_client_id(w);
-      mem::RemoteAllocator allocator(cluster_, endpoint);
-      std::unique_ptr<KvIndex> index = factory_(w, cn, endpoint, allocator);
+      // Endpoint/allocator/index live behind pointers so an injected client
+      // crash can reincarnate the worker: the dead endpoint is discarded
+      // (its held locks stay orphaned on the MN until survivors reclaim
+      // them) and a successor with a fresh fault client id and the same
+      // virtual clock takes over the remaining ops.
+      std::unique_ptr<rdma::Endpoint> endpoint;
+      std::unique_ptr<mem::RemoteAllocator> allocator;
+      std::unique_ptr<KvIndex> index;
+      uint32_t generation = 0;
+      uint64_t clock_carry = 0;
+      auto incarnate = [&] {
+        index.reset();
+        allocator.reset();
+        endpoint = std::make_unique<rdma::Endpoint>(cluster_.fabric(), cn,
+                                                    /*metered=*/true);
+        // Distinct per worker (not per CN) so probabilistic fault schedules
+        // are a pure function of the worker, independent of thread timing.
+        // Reincarnations shift by 1000 per generation so the successor's
+        // fault schedule is distinct from its dead predecessor's.
+        endpoint->set_fault_client_id(w + 1000u * generation);
+        endpoint->set_clock_ns(clock_carry);
+        allocator = std::make_unique<mem::RemoteAllocator>(cluster_, *endpoint);
+        index = factory_(w, cn, *endpoint, *allocator);
+      };
+      incarnate();
       Rng rng(options.seed * 7919 + w);
       std::string value(spec.value_size, 'v');
       std::string read_buf;
       std::vector<std::pair<std::string, std::string>> scan_buf;
 
       for (uint64_t op = 0; op < options.ops_per_worker; ++op) {
-        const uint64_t t0 = endpoint.clock_ns();
-        const double roll = rng.next_double();
-        if (roll < p_read) {
-          const uint64_t idx = dist->next(rng);
-          if (!index->search(keys_[idx], &read_buf)) out.misses++;
-        } else if (roll < p_update) {
-          const uint64_t idx = dist->next(rng);
-          std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
-          if (!index->update(keys_[idx], value)) out.misses++;
-        } else if (roll < p_insert) {
-          const uint64_t idx =
-              insert_cursor_.fetch_add(1, std::memory_order_relaxed);
-          if (idx >= keys_.size()) {
-            // Key pool exhausted: degrade to an update so the op mix keeps
-            // its write share (counted so benches can size the pool).
-            out.insert_overflow++;
-            const uint64_t j = dist->next(rng);
+        const uint64_t t0 = endpoint->clock_ns();
+        try {
+          const double roll = rng.next_double();
+          if (roll < p_read) {
+            const uint64_t idx = dist->next(rng);
+            if (!index->search(keys_[idx], &read_buf)) out.misses++;
+          } else if (roll < p_update) {
+            const uint64_t idx = dist->next(rng);
             std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
-            index->update(keys_[j], value);
+            if (!index->update(keys_[idx], value)) out.misses++;
+          } else if (roll < p_insert) {
+            const uint64_t idx =
+                insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= keys_.size()) {
+              // Key pool exhausted: degrade to an update so the op mix keeps
+              // its write share (counted so benches can size the pool).
+              out.insert_overflow++;
+              const uint64_t j = dist->next(rng);
+              std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+              index->update(keys_[j], value);
+            } else {
+              std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+              index->insert(keys_[idx], value);
+              visible_.fetch_add(1, std::memory_order_relaxed);
+              if (latest) latest->advance_frontier();
+            }
           } else {
-            std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
-            index->insert(keys_[idx], value);
-            visible_.fetch_add(1, std::memory_order_relaxed);
-            if (latest) latest->advance_frontier();
+            const uint64_t idx = dist->next(rng);
+            const size_t len = 1 + rng.next_below(spec.max_scan_len);
+            index->scan(keys_[idx], len, &scan_buf);
           }
-        } else {
-          const uint64_t idx = dist->next(rng);
-          const size_t len = 1 + rng.next_below(spec.max_scan_len);
-          index->scan(keys_[idx], len, &scan_buf);
+        } catch (const rdma::ClientCrashed&) {
+          out.client_crashes++;
+          out.net += endpoint->stats();
+          clock_carry = endpoint->clock_ns();
+          if (hook_) hook_(*index, w);  // salvage the dead client's stats
+          ++generation;
+          incarnate();
+          continue;  // the crashed op is abandoned, not retried
         }
-        out.latency.record(endpoint.clock_ns() - t0);
+        out.latency.record(endpoint->clock_ns() - t0);
       }
-      out.net = endpoint.stats();
-      out.end_clock_ns = endpoint.clock_ns();
+      out.net += endpoint->stats();
+      out.end_clock_ns = endpoint->clock_ns();
       if (hook_) hook_(*index, w);
     });
   }
@@ -152,6 +182,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.net += out.net;
     result.misses += out.misses;
     result.insert_overflow += out.insert_overflow;
+    result.client_crashes += out.client_crashes;
     cn_msgs[w % num_cns] += out.net.messages;
     max_clock = std::max(max_clock, out.end_clock_ns);
   }

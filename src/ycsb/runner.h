@@ -49,6 +49,12 @@ struct RunResult {
   uint64_t total_ops = 0;
   uint64_t misses = 0;        // reads/updates of not-yet-visible keys
   uint64_t insert_overflow = 0;  // insert pool exhausted (fell back to update)
+  // Injected client crashes (kClientCrash faults). Each kills one worker
+  // mid-op; the runner reincarnates it with a fresh endpoint + index client
+  // and carries its virtual clock forward. The in-flight op is abandoned
+  // (its fate, like a real crashed client's, is decided by the survivors'
+  // lock reclamation).
+  uint64_t client_crashes = 0;
   // Effective wall time of the phase on the simulated cluster: the longest
   // worker timeline, stretched by the NIC-capacity model when the phase
   // demands more NIC service time than the fabric can supply (fluid

@@ -23,8 +23,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -35,6 +37,7 @@
 #include "core/sphinx_index.h"
 #include "memnode/cluster.h"
 #include "rdma/fault_injector.h"
+#include "rdma/stats.h"
 #include "test_util.h"
 #include "ycsb/systems.h"
 
@@ -53,6 +56,14 @@ struct StressOptions {
   // Number of deterministic MN-outage bursts injected mid-run (rotating
   // target MN, fixed reject budget each).
   int offline_bursts = 0;
+  // Probability that any tagged protocol verb kills its client. The worker
+  // reincarnates with a fresh endpoint + index client (orphaned locks stay
+  // set until survivors' lease watches reclaim them) and resolves the
+  // crashed op's outcome by reading the key back before continuing.
+  double crash_rate = 0.0;
+  // Restricts crash injection to one protocol step (kAny = every tagged
+  // site), so each crash window can be stressed in isolation.
+  rdma::FaultSite crash_site = rdma::FaultSite::kAny;
   // Sphinx prefix entry cache budget (kAutoPecBudget = default 25% carve,
   // 0 = disabled); see ycsb::SystemSetup.
   uint64_t pec_budget = ycsb::kAutoPecBudget;
@@ -76,10 +87,21 @@ struct StressReport {
   // purged or refreshed every entry it touched, so a coherent PEC yields 0
   // here -- stale entries self-heal instead of festering.
   uint64_t pec_second_pass_stale = 0;
+  // Crash-tolerance accounting: injected client deaths, post-crash reads
+  // that observed a state outside the crashed op's acceptable set (old xor
+  // new -- a torn or lost-ack outcome), mutations that honestly exhausted
+  // their retry budget while a dead client's lease ran out (verified
+  // no-torn-effect, not counted as failures), and lock-recovery counters
+  // summed over every worker incarnation (tree + INHT).
+  uint64_t client_crashes = 0;
+  uint64_t crash_resolve_violations = 0;
+  uint64_t crash_timeouts = 0;
+  rdma::RecoveryStats recovery;
 
   bool clean() const {
     return lin_violations == 0 && scan_order_violations == 0 &&
-           oracle_mismatches == 0 && failed_ops == 0;
+           oracle_mismatches == 0 && failed_ops == 0 &&
+           crash_resolve_violations == 0;
   }
 };
 
@@ -101,7 +123,15 @@ class StressHarness {
     load_lin_keys();
 
     if (options_.faults) arm_background_schedule();
-    if (options_.faults || options_.offline_bursts > 0) {
+    if (options_.crash_rate > 0.0) {
+      rdma::FaultRule crash;
+      crash.kind = rdma::FaultKind::kClientCrash;
+      crash.probability = options_.crash_rate;
+      crash.site = options_.crash_site;
+      injector_.add_rule(crash);
+    }
+    if (options_.faults || options_.offline_bursts > 0 ||
+        options_.crash_rate > 0.0) {
       cluster_->fabric().set_fault_injector(&injector_);
     }
 
@@ -136,7 +166,17 @@ class StressHarness {
     report.pec_stale = pec_stale_.load();
     report.speculative_wins = spec_wins_.load();
     report.speculative_losses = spec_losses_.load();
+    report.client_crashes = crashes_.load();
+    report.crash_timeouts = crash_timeouts_.load();
     verify_quiesced(oracles, &report);
+    // After verification: crashes near the end of the run leave orphan
+    // locks that only the verifier's reads reclaim, and its client stats
+    // are salvaged into recovery_ like any other incarnation's.
+    report.crash_resolve_violations = crash_resolve_violations_.load();
+    {
+      std::lock_guard<std::mutex> lock(recovery_mu_);
+      report.recovery = recovery_;
+    }
     return report;
   }
 
@@ -222,15 +262,121 @@ class StressHarness {
     }
   }
 
+  // Identifies the mutation whose outcome became unknown (crash or retry
+  // timeout), so the resolution read knows the acceptable state set.
+  enum class OpKind { kNone, kLinWrite, kChurnInsert, kChurnUpdate,
+                      kChurnRemove };
+
+  // Folds one retiring index client's internal counters into the harness
+  // totals (called for every incarnation, including ones that crashed).
+  void salvage_client_stats(KvIndex* index) {
+    if (index == nullptr) return;
+    if (const auto* sx = dynamic_cast<core::SphinxIndex*>(index)) {
+      pec_hits_.fetch_add(sx->sphinx_stats().pec_hits);
+      pec_stale_.fetch_add(sx->sphinx_stats().pec_stale);
+      spec_wins_.fetch_add(sx->sphinx_stats().speculative_wins);
+      spec_losses_.fetch_add(sx->sphinx_stats().speculative_losses);
+    }
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    if (const auto* tree = dynamic_cast<art::RemoteTree*>(index)) {
+      recovery_ += tree->tree_stats().recovery;
+    }
+    if (auto* sx = dynamic_cast<core::SphinxIndex*>(index)) {
+      recovery_ += sx->inht().aggregated_stats().recovery;
+    }
+  }
+
   void worker(int t, std::map<std::string, std::string>* oracle,
               std::atomic<uint64_t>* lin_violations,
               std::atomic<uint64_t>* scan_violations,
               std::atomic<uint64_t>* failed_ops,
               std::atomic<uint64_t>* clock_sum) {
-    rdma::Endpoint ep(cluster_->fabric(), static_cast<uint32_t>(t) % 3, true);
-    ep.set_fault_client_id(static_cast<uint32_t>(t));
-    mem::RemoteAllocator alloc(*cluster_, ep);
-    auto index = setup_.make_client(static_cast<uint32_t>(t) % 3, ep, alloc);
+    // The client triple lives behind pointers so an injected crash can kill
+    // it: the dead endpoint is abandoned (locks it held stay orphaned until
+    // another client's lease watch expires) and a successor with a distinct
+    // fault id and the same virtual clock takes over.
+    std::unique_ptr<rdma::Endpoint> ep;
+    std::unique_ptr<mem::RemoteAllocator> alloc;
+    std::unique_ptr<KvIndex> index;
+    uint32_t generation = 0;
+    uint64_t clock_carry = 0;
+    auto incarnate = [&] {
+      if (ep) clock_carry = ep->clock_ns();
+      salvage_client_stats(index.get());
+      index.reset();
+      alloc.reset();
+      ep = std::make_unique<rdma::Endpoint>(cluster_->fabric(),
+                                            static_cast<uint32_t>(t) % 3, true);
+      ep->set_fault_client_id(static_cast<uint32_t>(t) + 1000u * generation);
+      ep->set_clock_ns(clock_carry);
+      alloc = std::make_unique<mem::RemoteAllocator>(*cluster_, *ep);
+      index = setup_.make_client(static_cast<uint32_t>(t) % 3, *ep, *alloc);
+    };
+    incarnate();
+    // Runs `fn` to completion, reincarnating on every injected crash, for
+    // the post-crash resolution reads that must eventually succeed.
+    auto run_resilient = [&](const std::function<void()>& fn) {
+      for (;;) {
+        try {
+          fn();
+          return;
+        } catch (const rdma::ClientCrashed&) {
+          crashes_.fetch_add(1);
+          ++generation;
+          incarnate();
+        }
+      }
+    };
+    // A crashed op's outcome is frozen at the crash point: either it
+    // linearized or it did not, and nothing retries it. Reading the key
+    // back (which reclaims any lock the dead client orphaned on that path)
+    // must therefore observe exactly the old or the new state.
+    auto resolve_lin_write = [&](size_t slot, const std::string& key,
+                                 int64_t ver) {
+      std::string cur;
+      bool found = false;
+      run_resilient([&] { found = index->search(key, &cur); });
+      if (!found) {
+        (*lin_violations)++;  // lin keys are never removed
+        return;
+      }
+      const int64_t got = parse_lin_version(cur);
+      if (got == ver) {
+        completed_[slot].store(ver);  // the write linearized before the crash
+      } else if (got != completed_[slot].load()) {
+        crash_resolve_violations_.fetch_add(1);
+      }
+    };
+    // Same resolution for a churn mutation: the observed state must be the
+    // old one or the attempted one, and the oracle is re-pointed at it so
+    // the quiesced check stays exact.
+    auto resolve_churn = [&](OpKind kind, const std::string& key,
+                             const std::string& value, const std::string& old) {
+      std::string cur;
+      bool found = false;
+      run_resilient([&] { found = index->search(key, &cur); });
+      bool ok = false;
+      switch (kind) {
+        case OpKind::kChurnInsert:
+          ok = !found || cur == value;
+          break;
+        case OpKind::kChurnUpdate:
+          ok = found && (cur == value || cur == old);
+          break;
+        case OpKind::kChurnRemove:
+          ok = !found || cur == old;
+          break;
+        default:
+          break;
+      }
+      if (!ok) crash_resolve_violations_.fetch_add(1);
+      if (found) {
+        (*oracle)[key] = cur;
+      } else {
+        oracle->erase(key);
+      }
+    };
+
     Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(t));
 
     std::vector<int64_t> my_version(
@@ -240,6 +386,13 @@ class StressHarness {
 
     for (int op = 0; op < options_.ops_per_thread; ++op) {
       const uint64_t r = rng.next_below(100);
+      OpKind op_kind = OpKind::kNone;
+      size_t op_slot = 0;
+      std::string op_key;
+      int64_t op_ver = 0;
+      std::string op_value;  // attempted value (insert/update)
+      std::string op_old;    // previous oracle value (update/remove)
+      try {
       if (r < 35) {
         // Lin read of anyone's key, with the bracket check.
         const int ot = static_cast<int>(rng.next_below(
@@ -262,9 +415,19 @@ class StressHarness {
             static_cast<uint64_t>(options_.lin_keys_per_thread)));
         const size_t slot = lin_slot(t, i);
         const int64_t ver = ++my_version[static_cast<size_t>(i)];
+        op_kind = OpKind::kLinWrite;
+        op_slot = slot;
+        op_key = lin_key(t, i);
+        op_ver = ver;
         started_[slot].store(ver);
         if (index->update(lin_key(t, i), lin_value(ver))) {
           completed_[slot].store(ver);
+        } else if (options_.crash_rate > 0.0) {
+          // Bounded retries may honestly give up while a dead client's
+          // lease runs out; like a crash, the outcome is unknown and must
+          // resolve to exactly the old or the new state.
+          crash_timeouts_.fetch_add(1);
+          resolve_lin_write(slot, op_key, ver);
         } else {
           (*failed_ops)++;  // the key exists; update must succeed
         }
@@ -274,23 +437,40 @@ class StressHarness {
             static_cast<uint64_t>(options_.churn_keys_per_thread)));
         const std::string k = churn_key(t, i);
         auto it = oracle->find(k);
+        op_key = k;
         if (it == oracle->end()) {
           const std::string value = "c:" + std::to_string(op);
+          op_kind = OpKind::kChurnInsert;
+          op_value = value;
           if (index->insert(k, value)) {
             (*oracle)[k] = value;
+          } else if (options_.crash_rate > 0.0) {
+            crash_timeouts_.fetch_add(1);
+            resolve_churn(op_kind, k, op_value, op_old);
           } else {
             (*failed_ops)++;
           }
         } else if (rng.next_below(3) == 0) {
+          op_kind = OpKind::kChurnRemove;
+          op_old = it->second;
           if (index->remove(k)) {
             oracle->erase(it);
+          } else if (options_.crash_rate > 0.0) {
+            crash_timeouts_.fetch_add(1);
+            resolve_churn(op_kind, k, op_value, op_old);
           } else {
             (*failed_ops)++;
           }
         } else {
           const std::string value = "c:" + std::to_string(op);
+          op_kind = OpKind::kChurnUpdate;
+          op_value = value;
+          op_old = it->second;
           if (index->update(k, value)) {
             it->second = value;
+          } else if (options_.crash_rate > 0.0) {
+            crash_timeouts_.fetch_add(1);
+            resolve_churn(op_kind, k, op_value, op_old);
           } else {
             (*failed_ops)++;
           }
@@ -315,14 +495,24 @@ class StressHarness {
           }
         }
       }
+      } catch (const rdma::ClientCrashed&) {
+        crashes_.fetch_add(1);
+        ++generation;
+        incarnate();
+        // The crashed op is never retried; its fate was sealed at the crash
+        // point. Reads carry no state, but a crashed mutation must have
+        // either fully linearized or not happened at all -- read the key
+        // back (reclaiming any lock the dead client orphaned on it) and
+        // check the observed state against the acceptable set.
+        if (op_kind == OpKind::kLinWrite) {
+          resolve_lin_write(op_slot, op_key, op_ver);
+        } else if (op_kind != OpKind::kNone) {
+          resolve_churn(op_kind, op_key, op_value, op_old);
+        }
+      }
     }
-    clock_sum->fetch_add(ep.clock_ns());
-    if (const auto* sx = dynamic_cast<core::SphinxIndex*>(index.get())) {
-      pec_hits_.fetch_add(sx->sphinx_stats().pec_hits);
-      pec_stale_.fetch_add(sx->sphinx_stats().pec_stale);
-      spec_wins_.fetch_add(sx->sphinx_stats().speculative_wins);
-      spec_losses_.fetch_add(sx->sphinx_stats().speculative_losses);
-    }
+    clock_sum->fetch_add(ep->clock_ns());
+    salvage_client_stats(index.get());
   }
 
   void verify_quiesced(
@@ -376,6 +566,7 @@ class StressHarness {
       report->pec_second_pass_stale =
           sx->sphinx_stats().pec_stale - stale_before;
     }
+    salvage_client_stats(verifier.get());
   }
 
   StressOptions options_;
@@ -392,6 +583,12 @@ class StressHarness {
   std::atomic<uint64_t> pec_stale_{0};
   std::atomic<uint64_t> spec_wins_{0};
   std::atomic<uint64_t> spec_losses_{0};
+  // Crash-tolerance accounting (see StressReport).
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> crash_resolve_violations_{0};
+  std::atomic<uint64_t> crash_timeouts_{0};
+  std::mutex recovery_mu_;
+  rdma::RecoveryStats recovery_;  // summed over all retired incarnations
 };
 
 inline StressReport run_stress(const StressOptions& options) {

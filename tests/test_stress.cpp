@@ -18,6 +18,7 @@ void expect_clean(const StressReport& report) {
   EXPECT_EQ(report.scan_order_violations, 0u);
   EXPECT_EQ(report.oracle_mismatches, 0u);
   EXPECT_EQ(report.failed_ops, 0u);
+  EXPECT_EQ(report.crash_resolve_violations, 0u);
 }
 
 StressOptions base_options(ycsb::SystemKind kind) {
@@ -109,6 +110,63 @@ TEST(Stress, SphinxSurvivesMnOutageBursts) {
   // no operation gave up or lost data.
   EXPECT_GT(report.fault_stats.offline_rejects, 0u);
   EXPECT_EQ(report.fault_stats.offline_giveups, 0u);
+}
+
+TEST(Stress, SphinxClientCrashAtEachProtocolStep) {
+  // Kill clients at one tagged protocol verb at a time, so every crash
+  // window -- lock acquired, payload half-written, slot installed but not
+  // released, mid split publication -- is stressed in isolation. Each run
+  // must quiesce with no lost acknowledged write, no wedged lock and an
+  // exact oracle match.
+  const rdma::FaultSite sites[] = {
+      rdma::FaultSite::kLockAcquire,  rdma::FaultSite::kSlotInstall,
+      rdma::FaultSite::kPayloadWrite, rdma::FaultSite::kLockRelease,
+      rdma::FaultSite::kHashInsert,   rdma::FaultSite::kHashUpdate,
+      rdma::FaultSite::kHashErase,    rdma::FaultSite::kTableLock,
+      rdma::FaultSite::kSplitSibling, rdma::FaultSite::kSplitDir,
+      rdma::FaultSite::kSplitPublish};
+  uint64_t total_crashes = 0;
+  for (const rdma::FaultSite site : sites) {
+    SCOPED_TRACE("crash site " + std::to_string(static_cast<int>(site)));
+    StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+    options.threads = 4;
+    options.ops_per_thread = 700;
+    options.churn_keys_per_thread = 32;
+    options.crash_rate = 0.02;
+    options.crash_site = site;
+    const StressReport report = run_stress(options);
+    expect_clean(report);
+    total_crashes += report.client_crashes;
+  }
+  // Frequently-executed sites must actually have fired; rare sites (splits)
+  // may legitimately see no crash in a short run.
+  EXPECT_GT(total_crashes, 0u);
+}
+
+TEST(Stress, SphinxClientCrashStormReclaimsOrphanLocks) {
+  // Crashes at every tagged site, layered over the background fault
+  // schedule. Survivors must observe expired leases and reclaim the dead
+  // clients' locks -- the run cannot stay clean otherwise, since every
+  // orphaned node would wedge its key range.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.faults = true;
+  options.crash_rate = 0.004;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.client_crashes, 0u);
+  EXPECT_GT(report.recovery.lease_expiries_observed, 0u);
+  EXPECT_GT(report.recovery.lock_reclaims, 0u);
+}
+
+TEST(Stress, SmartClientCrashStorm) {
+  // The ART-family lock recovery paths without Sphinx's filter layers.
+  StressOptions options = base_options(ycsb::SystemKind::kSmart);
+  options.threads = 4;
+  options.ops_per_thread = 1000;
+  options.crash_rate = 0.004;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.client_crashes, 0u);
 }
 
 TEST(Stress, FixedSeedSingleThreadIsReproducible) {

@@ -11,6 +11,7 @@
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
 //              [--faults=0.02] [--crash-rate=0.0001] [--fault-seed=42]
 //              [--json=out.json] [--pec-budget=<bytes>] [--no-pec]
+//              [--no-scan-jump]
 //
 // --faults=<rate> installs the standard background fault schedule
 // (rdma/fault_injector.h) on the fabric for the measured phases: per-verb
@@ -56,6 +57,12 @@ struct JsonRecord {
   uint64_t client_crashes = 0;
   rdma::RecoveryStats recovery;
   rdma::BackoffHistogram backoff;
+  // Scan breakdown (workload E; zero elsewhere). scan_subtree_skips and
+  // scan_leaf_drops must be zero in any fault-free run -- CI asserts it.
+  uint64_t scan_ops = 0;
+  double scan_rtts_per_op = 0;
+  uint64_t scan_truncated_ops = 0;
+  rdma::ScanStats scan;
 };
 
 // Sums the crash-recovery counters of every worker's index client (tree
@@ -65,12 +72,14 @@ struct RecoveryAgg {
   std::mutex mu;
   rdma::RecoveryStats recovery;
   rdma::BackoffHistogram backoff;
+  rdma::ScanStats scan;
 
   void add(KvIndex& index) {
     std::lock_guard<std::mutex> lock(mu);
     if (auto* tree = dynamic_cast<art::RemoteTree*>(&index)) {
       recovery += tree->tree_stats().recovery;
       backoff += tree->tree_stats().backoff;
+      scan += tree->tree_stats().scan;
     }
     if (auto* sphinx = dynamic_cast<core::SphinxIndex*>(&index)) {
       const race::RaceStats inht = sphinx->inht().aggregated_stats();
@@ -82,6 +91,7 @@ struct RecoveryAgg {
   void reset() {
     recovery = rdma::RecoveryStats();
     backoff = rdma::BackoffHistogram();
+    scan = rdma::ScanStats();
   }
 };
 
@@ -108,6 +118,19 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
          << ", \"lease_expiries_observed\": "
          << r.recovery.lease_expiries_observed
          << ", \"retry_timeouts\": " << r.recovery.retry_timeouts
+         << ", \"scan_ops\": " << r.scan_ops
+         << ", \"scan_rtts_per_op\": " << r.scan_rtts_per_op
+         << ", \"scan_truncated_ops\": " << r.scan_truncated_ops
+         << ", \"scan_jump_starts\": " << r.scan.jump_starts
+         << ", \"scan_root_starts\": " << r.scan.root_starts
+         << ", \"scan_widen_resumes\": " << r.scan.widen_resumes
+         << ", \"scan_restarts\": " << r.scan.restarts
+         << ", \"scan_frontier_batches\": " << r.scan.frontier_batches
+         << ", \"scan_frontier_nodes\": " << r.scan.frontier_nodes
+         << ", \"scan_root_refreshes\": " << r.scan.root_refreshes
+         << ", \"scan_stale_retries\": " << r.scan.stale_retries
+         << ", \"scan_subtree_skips\": " << r.scan.subtree_skips
+         << ", \"scan_leaf_drops\": " << r.scan.leaf_drops
          << ", \"backoff_waits\": " << r.backoff.waits
          << ", \"backoff_wait_ns\": " << r.backoff.wait_ns
          << ", \"backoff_hist\": [";
@@ -132,6 +155,9 @@ int run(int argc, char** argv) {
   const double crash_rate = flags.get_double("crash-rate", 0.0);
   const uint64_t fault_seed = flags.get_u64("fault-seed", 42);
   const std::string json_path = flags.get_string("json", "");
+  // A/B switch: run Sphinx scans without the SFC/PEC entry jump (root
+  // descents, like the baselines). Point ops keep their caches.
+  const bool scan_jump = !flags.get_bool("no-scan-jump", false);
   // PEC sizing: --no-pec wins, then an explicit --pec-budget in bytes,
   // else the default 25% carve-out (ycsb::SystemSetup).
   const uint64_t pec_budget =
@@ -170,6 +196,7 @@ int run(int argc, char** argv) {
       auto cluster = make_cluster(pool);
       ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys),
                               pec_budget);
+      setup.set_scan_jump(scan_jump);
       ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
       runner.load(num_keys, 64);
       std::cerr << "[" << ycsb::dataset_name(dataset) << "] loaded "
@@ -214,6 +241,17 @@ int run(int argc, char** argv) {
                   << TablePrinter::fmt_mops(result.ops_per_sec) << " ("
                   << TablePrinter::fmt_double(result.rtts_per_op) << " rtt/op, "
                   << result.latency.summary() << ")\n";
+        if (result.scan_ops > 0) {
+          std::cerr << "    scans: " << result.scan_ops << " ("
+                    << TablePrinter::fmt_double(result.scan_rtts_per_op)
+                    << " rtt/scan, " << recovery_agg.scan.jump_starts
+                    << " jump starts, " << recovery_agg.scan.widen_resumes
+                    << " widen-resumes, " << recovery_agg.scan.stale_retries
+                    << " stale retries, " << recovery_agg.scan.subtree_skips
+                    << " subtree skips, " << recovery_agg.scan.leaf_drops
+                    << " leaf drops, " << result.scan_truncated
+                    << " truncated)\n";
+        }
         if (result.client_crashes > 0 ||
             recovery_agg.recovery.lock_reclaims > 0) {
           std::cerr << "    crashes: " << result.client_crashes
@@ -226,11 +264,13 @@ int run(int argc, char** argv) {
                     << recovery_agg.recovery.retry_timeouts << "\n";
         }
         if (!json_path.empty()) {
-          json_records.push_back({setup.name(), ycsb::dataset_name(dataset),
-                                  result.workload, result.ops_per_sec,
-                                  result.rtts_per_op, result.read_bytes_per_op,
-                                  result.mean_latency_ns, result.client_crashes,
-                                  recovery_agg.recovery, recovery_agg.backoff});
+          json_records.push_back(
+              {setup.name(), ycsb::dataset_name(dataset), result.workload,
+               result.ops_per_sec, result.rtts_per_op,
+               result.read_bytes_per_op, result.mean_latency_ns,
+               result.client_crashes, recovery_agg.recovery,
+               recovery_agg.backoff, result.scan_ops, result.scan_rtts_per_op,
+               result.scan_truncated, recovery_agg.scan});
         }
         row++;
       }

@@ -20,6 +20,7 @@ class ArtIndex final : public RemoteTree {
     TreeConfig config;
     config.batched_scan = false;      // Fig. 4E: ART lacks doorbell batching
     config.homogeneous_nodes = false;
+    config.cache_scan_root = false;   // plain ART models no CN-side caching
     return config;
   }
 };

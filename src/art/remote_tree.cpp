@@ -1080,16 +1080,48 @@ bool RemoteTree::reclaim_leaf(const TerminatedKey& key, rdma::GlobalAddr addr,
 }
 
 // ---- scan -------------------------------------------------------------------
+//
+// Frontier-batched scan engine. The frontier is a key-ordered worklist of
+// pending children; each round fetches the leading unvisited entries
+// *across subtrees* in one doorbell batch (kScanFanout wide, leaf runs and
+// inner nodes interleaved), pops validated leaves off the front in order,
+// and splices an expanded inner node's in-window children back in place.
+// Round trips therefore scale like tree depth + ceil(nodes / fanout)
+// instead of one batch sequence per subtree. Stale pointers re-resolve
+// through the parent's slot word under the per-op RetryPolicy; an
+// exhausted budget is surfaced (counters + last_scan_truncated()), never
+// silently skipped.
+
+namespace {
+
+// Batch width for one frontier round trip (matches a doorbell's practical
+// WQE budget; also the cap the old per-subtree chunking used).
+constexpr size_t kScanFanout = 32;
+// Byte budget for *speculative* inner fetches per batch. Leaf runs batch
+// freely (their keys are needed by definition) and one inner always rides
+// per round trip (forward progress), but further sibling inners are a
+// gamble: if an earlier subtree satisfies the remaining count, they were
+// fetched for nothing. On adaptive trees the gamble is nearly free (a
+// Node-4 image is tens of bytes) so the budget never binds; on homogeneous
+// trees every inner is a full 2 KiB image and unchecked speculation can
+// double the scan's wire traffic, which is what sets throughput once the
+// NIC saturates. 2 KiB admits a dozen small adaptive nodes but exactly
+// zero extra homogeneous ones.
+constexpr size_t kScanSpecInnerBytes = 2048;
+// Per-item slot re-resolutions before escalating to a frontier restart
+// (the path above the item, not the item itself, may be stale).
+constexpr uint32_t kMaxScanItemRetries = 4;
+
+}  // namespace
 
 size_t RemoteTree::scan(Slice start_key, size_t count,
                         std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  last_scan_truncated_ = false;
   if (count == 0) return 0;
-  const TerminatedKey bound(start_key);
-  InnerImage root;
-  if (!fetch_inner(ref_.root, NodeType::kN256, &root)) return 0;
-  scan_node(root, bound, /*bounded=*/true, count, /*high=*/nullptr, out,
-            kMaxKeyLen);
+  stats_.scan.scans++;
+  const TerminatedKey low(start_key);
+  run_scan(low, /*high=*/nullptr, count, out);
   return out->size();
 }
 
@@ -1097,142 +1129,553 @@ size_t RemoteTree::scan_range(
     Slice low_key, Slice high_key, size_t max_results,
     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  last_scan_truncated_ = false;
   if (max_results == 0 || high_key.compare(low_key) < 0) return 0;
+  stats_.scan.scans++;
   const TerminatedKey low(low_key);
   const TerminatedKey high(high_key);
-  InnerImage root;
-  if (!fetch_inner(ref_.root, NodeType::kN256, &root)) return 0;
-  scan_node(root, low, /*bounded=*/true, max_results, &high, out,
-            kMaxKeyLen);
+  run_scan(low, &high, max_results, out);
   return out->size();
 }
 
-bool RemoteTree::scan_node(
-    const InnerImage& node, const TerminatedKey& bound, bool bounded,
-    size_t count, const TerminatedKey* high,
-    std::vector<std::pair<std::string, std::string>>* out,
-    uint32_t depth_budget) {
-  if (depth_budget == 0) return out->size() >= count;
+uint32_t RemoteTree::register_scan_prefix(Slice prefix) {
+  scan_prefixes_.emplace_back(prefix.data(), prefix.size());
+  scan_prefix_masks_.emplace_back(prefix.size(), '\1');
+  return static_cast<uint32_t>(scan_prefixes_.size() - 1);
+}
+
+int RemoteTree::compose_scan_child_prefix(const ScanItem& item,
+                                          const InnerImage& node) {
+  const std::string& pp = scan_prefixes_[item.prefix_id];
+  const std::string& pm = scan_prefix_masks_[item.prefix_id];
+  const uint32_t d = item.parent_depth;  // == pp.size()
+  const uint32_t len = node.depth();
+  std::string q(len, '\0');
+  std::string m(len, '\0');
+  std::memcpy(&q[0], pp.data(), std::min<size_t>(pp.size(), len));
+  std::memcpy(&m[0], pm.data(), std::min<size_t>(pm.size(), len));
+  if (d < len) {
+    q[d] = static_cast<char>(slot_pkey(item.word));
+    m[d] = '\1';
+  }
+  const uint64_t fw = node.frag_word();
+  const uint32_t fl = std::min(frag_len(fw), len);
+  for (uint32_t i = len - fl; i < len; ++i) {
+    const char b = static_cast<char>(frag_byte(fw, i - (len - fl)));
+    if (m[i] == '\1' && q[i] != b) return -1;  // definite prefix mismatch
+    q[i] = b;
+    m[i] = '\1';
+  }
+  bool fully_known = true;
+  for (const char c : m) fully_known &= c == '\1';
+  if (fully_known && prefix_hash(Slice(q)) != node.prefix_hash_full()) {
+    return -1;  // an unrelated node recycled into this address
+  }
+  scan_prefixes_.push_back(std::move(q));
+  scan_prefix_masks_.push_back(std::move(m));
+  return static_cast<int>(scan_prefixes_.size() - 1);
+}
+
+bool RemoteTree::scan_leaf_linked(const ScanItem& item,
+                                  Slice terminated_key) const {
+  const uint32_t d = item.parent_depth;
+  if (terminated_key.size() <= d) return false;
+  if (static_cast<uint8_t>(terminated_key.data()[d]) !=
+      slot_pkey(item.word)) {
+    return false;
+  }
+  const std::string& pp = scan_prefixes_[item.prefix_id];
+  const std::string& pm = scan_prefix_masks_[item.prefix_id];
+  for (size_t i = 0; i < pp.size(); ++i) {
+    if (pm[i] == '\1' && terminated_key.data()[i] != pp[i]) return false;
+  }
+  return true;
+}
+
+void RemoteTree::expand_into_frontier(rdma::GlobalAddr addr,
+                                      const InnerImage& node,
+                                      const TerminatedKey& bound,
+                                      const TerminatedKey* high,
+                                      bool lo_bounded, bool hi_bounded,
+                                      size_t at, uint32_t prefix_id) {
   endpoint_.advance_local(
       config_.local_ns_per_node +
       static_cast<uint64_t>(node.size_bytes() / config_.cpu_bytes_per_ns));
-
   const uint32_t depth = node.depth();
-  if (bounded && depth >= bound.size()) bounded = false;
-  const uint8_t bound_byte = bounded ? bound.byte(depth) : 0;
+  if (depth > 0) on_scan_inner(addr, node);
 
-  std::vector<uint64_t> slots;
-  node.sorted_slots(slots);
+  // Nodes deeper than a bound lie strictly inside (low) / outside (high)
+  // of it; the per-leaf compares below stay the final authority either way.
+  const bool lo_b = lo_bounded && depth < bound.size();
+  const bool hi_b = hi_bounded && high != nullptr && depth < high->size();
+  const uint8_t lo_byte = lo_b ? bound.byte(depth) : 0;
+  const uint8_t hi_byte = hi_b ? high->byte(depth) : 0xff;
 
-  // Children we will visit, in key order.
-  std::vector<uint64_t> visit;
-  visit.reserve(slots.size());
-  for (uint64_t s : slots) {
-    if (bounded && slot_pkey(s) < bound_byte) continue;
-    visit.push_back(s);
+  // Valid in-window slots with their indices, in branch-byte order (the
+  // index is what a stale child's re-resolution re-reads).
+  slot_scratch_.clear();
+  const uint32_t cap = node.capacity();
+  for (uint32_t i = 0; i < cap; ++i) {
+    const uint64_t w = node.slot(i);
+    if (!slot_valid(w)) continue;
+    const uint8_t p = slot_pkey(w);
+    if (p < lo_byte || p > hi_byte) continue;
+    slot_scratch_.emplace_back(w, i);
   }
-  if (visit.empty()) return out->size() >= count;
+  std::sort(slot_scratch_.begin(), slot_scratch_.end(),
+            [](const std::pair<uint64_t, uint32_t>& a,
+               const std::pair<uint64_t, uint32_t>& b) {
+              return slot_pkey(a.first) < slot_pkey(b.first);
+            });
 
-  // Children are prefetched in doorbell-batched chunks (Sphinx/SMART).
-  // Chunking policy: a chunk is a run of consecutive *leaf* children
-  // (cheap, and the scan will consume them anyway, so prefetching a run in
-  // one round trip is pure win), optionally terminated by one *inner*
-  // child fetched in the same round trip. Inner children never ride ahead
-  // of need: each subtree usually satisfies the remaining count by itself,
-  // so speculatively reading sibling subtree roots (up to 2 KiB each) would
-  // waste bandwidth -- exactly the boundary-descent waste the paper's ART
-  // avoids by being sequential and Sphinx avoids by batching only runs it
-  // needs. The ART baseline reads sequentially, one round trip per child.
-  constexpr size_t kScanFanout = 32;
-  const size_t buf_count =
-      config_.batched_scan ? std::min(visit.size(), kScanFanout) : 1;
-  std::vector<InnerImage> inners(buf_count);
-  std::vector<LeafImage> leaves(buf_count);
-  size_t chunk_base = 0;
-  size_t chunk_end = 0;  // nothing prefetched yet
+  frontier_.insert(frontier_.begin() + static_cast<ptrdiff_t>(at),
+                   slot_scratch_.size(), ScanItem{});
+  size_t inner_children = 0;
+  for (size_t k = 0; k < slot_scratch_.size(); ++k) {
+    ScanItem& it = frontier_[at + k];
+    it.word = slot_scratch_[k].first;
+    it.parent_addr = addr;
+    it.parent_slot = slot_scratch_[k].second;
+    it.parent_depth = depth;
+    it.prefix_id = prefix_id;
+    if (!slot_is_leaf(it.word)) inner_children++;
+    const uint8_t p = slot_pkey(it.word);
+    it.lo_bounded = lo_b && p == lo_byte;
+    it.hi_bounded = hi_b && p == hi_byte;
+  }
+  // A pure-leaf expansion reveals the local leaf fan-out: adopt it as the
+  // expected yield of this node's unvisited siblings, so the batch builder
+  // can span subtrees without speculating past the requested count.
+  if (inner_children == 0 && !slot_scratch_.empty() && depth > 0) {
+    scan_keys_per_inner_ = static_cast<double>(slot_scratch_.size());
+  }
+}
 
-  for (size_t i = 0; i < visit.size(); ++i) {
-    if (config_.batched_scan && i >= chunk_end) {
-      chunk_base = i;
-      const size_t needed = count > out->size() ? count - out->size() : 1;
-      size_t j = i;
-      size_t taken_leaves = 0;
-      while (j < visit.size() && j - i < kScanFanout) {
-        if (slot_is_leaf(visit[j])) {
-          if (taken_leaves >= needed) break;
-          taken_leaves++;
-          ++j;
-        } else {
-          ++j;  // include this inner child, then stop the chunk
+RemoteTree::ScanRecover RemoteTree::recover_scan_item(
+    ScanItem& item, bool leaf_deleted, rdma::RetryPolicy& policy,
+    uint32_t* attempt) {
+  // One round trip: the parent's header word plus the slot word we came
+  // through. The live slot is the authority on where the child is now.
+  uint64_t parent_header = 0;
+  uint64_t live_slot = 0;
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    batch.add_read(item.parent_addr, &parent_header, sizeof(parent_header));
+    batch.add_read(
+        item.parent_addr.plus(kInnerHeaderBytes +
+                              static_cast<uint64_t>(item.parent_slot) * 8),
+        &live_slot, sizeof(live_slot));
+    batch.execute();
+  }
+  if (header_status(parent_header) == NodeStatus::kInvalid) {
+    // The parent itself was switched out from under the scan: its slot
+    // array is a dead snapshot, so re-resolve the whole path from the top.
+    if (!policy.backoff(++*attempt)) return ScanRecover::kDrop;
+    return ScanRecover::kRestart;
+  }
+  if (!slot_valid(live_slot)) return ScanRecover::kGone;  // child unlinked
+  if (slot_pkey(live_slot) != slot_pkey(item.word)) {
+    // Non-N256 slot indices are positionless: the branch byte this item
+    // represents was removed and the slot re-filled for a different byte
+    // (that byte has its own frontier fate). Observing the key gone is
+    // linearizable -- it really was absent between the remove and any
+    // re-insert.
+    return ScanRecover::kGone;
+  }
+  if (live_slot != item.word) {
+    // The child was replaced (type switch / out-of-place update); follow
+    // the fresh pointer instead of skipping the subtree.
+    stats_.scan.stale_retries++;
+    item.word = live_slot;
+    item.retries++;
+    return ScanRecover::kRefetch;
+  }
+  // Pointer unchanged but the target looked stale/torn.
+  if (leaf_deleted) return ScanRecover::kGone;  // a removed leaf stays linked
+  stats_.scan.stale_retries++;
+  item.retries++;
+  if (item.retries > kMaxScanItemRetries) {
+    if (!policy.backoff(++*attempt)) return ScanRecover::kDrop;
+    return ScanRecover::kRestart;
+  }
+  if (!policy.backoff(++*attempt)) return ScanRecover::kDrop;
+  return ScanRecover::kRefetch;
+}
+
+void RemoteTree::run_scan(
+    const TerminatedKey& low, const TerminatedKey* high, size_t count,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
+  uint32_t attempt = 0;
+  // No leaf fan-out observed yet: assume one inner child covers the whole
+  // remaining count (leaf runs still prefetch alongside it).
+  scan_keys_per_inner_ = static_cast<double>(count);
+
+  // Between rounds: the working lower bound (exclusive once keys have been
+  // emitted) and, for count scans, the widen-and-resume depth ceiling.
+  std::optional<TerminatedKey> resume;
+  bool low_exclusive = false;
+  uint32_t count_cap = low.size() - 1;
+  // Subtree fully drained by the previous round (widen-resume only): the
+  // wider entry re-lists it as its bounded first child, but every key at
+  // scan-start time under it was already emitted or filtered -- prune it
+  // instead of re-fetching the whole run below the resume bound.
+  rdma::GlobalAddr exhausted_subtree;
+  bool have_exhausted = false;
+
+  auto mark_truncated = [&] {
+    if (!last_scan_truncated_) {
+      last_scan_truncated_ = true;
+      stats_.scan.truncated_scans++;
+    }
+  };
+  auto alloc_inner = [&]() -> uint32_t {
+    if (free_inner_bufs_.empty()) {
+      scan_inner_pool_.emplace_back();
+      return static_cast<uint32_t>(scan_inner_pool_.size() - 1);
+    }
+    const uint32_t b = free_inner_bufs_.back();
+    free_inner_bufs_.pop_back();
+    return b;
+  };
+  auto alloc_leaf = [&]() -> uint32_t {
+    if (free_leaf_bufs_.empty()) {
+      scan_leaf_pool_.emplace_back();
+      return static_cast<uint32_t>(scan_leaf_pool_.size() - 1);
+    }
+    const uint32_t b = free_leaf_bufs_.back();
+    free_leaf_bufs_.pop_back();
+    return b;
+  };
+  auto release_buf = [&](ScanItem& it) {
+    if (!it.fetched) return;
+    (slot_is_leaf(it.word) ? free_leaf_bufs_ : free_inner_bufs_)
+        .push_back(it.buf);
+    it.fetched = false;
+  };
+
+  for (;;) {  // one round = one entry + one frontier walk
+    const TerminatedKey& bound = resume ? *resume : low;
+    // Ceiling for the entry depth: a range scan may enter as deep as the
+    // low/high common prefix (every in-range key shares it); a count scan
+    // enters at the deepest covering node of the bound and widens on
+    // resume. Either way the entry's subtree covers the whole remaining
+    // window.
+    const uint32_t round_cap =
+        high != nullptr
+            ? static_cast<uint32_t>(
+                  bound.user_key().common_prefix_len(high->user_key()))
+            : std::min<uint32_t>(count_cap, bound.size() - 1);
+
+    frontier_.clear();
+    scan_prefixes_.clear();
+    scan_prefix_masks_.clear();
+    free_inner_bufs_.clear();
+    for (uint32_t i = 0; i < scan_inner_pool_.size(); ++i) {
+      free_inner_bufs_.push_back(i);
+    }
+    free_leaf_bufs_.clear();
+    for (uint32_t i = 0; i < scan_leaf_pool_.size(); ++i) {
+      free_leaf_bufs_.push_back(i);
+    }
+    size_t head = 0;
+
+    // ---- entry: SFC/PEC jump, cached root, or a fresh root fetch -----------
+    rdma::GlobalAddr entry_addr = ref_.root;
+    uint32_t entry_depth = 0;
+    bool fused_root_pending = false;  // validate the cached root image in
+                                      // the first frontier batch
+    if (config_.scan_jump && round_cap >= 1 &&
+        find_scan_start(bound, round_cap, &scan_entry_)) {
+      stats_.scan.jump_starts++;
+      entry_addr = scan_entry_.addr;
+      entry_depth = scan_entry_.image.depth();
+      expand_into_frontier(entry_addr, scan_entry_.image, bound, high,
+                           /*lo_bounded=*/true, /*hi_bounded=*/high != nullptr,
+                           /*at=*/0,
+                           register_scan_prefix(bound.prefix(entry_depth)));
+    } else {
+      stats_.scan.root_starts++;
+      if (config_.cache_scan_root && scan_root_valid_) {
+        fused_root_pending = true;
+      } else {
+        if (!fetch_inner(ref_.root, NodeType::kN256, &scan_entry_.image)) {
+          if (!policy.backoff(++attempt)) {
+            mark_truncated();
+            return;
+          }
+          continue;  // transient: retry the round
+        }
+        if (config_.cache_scan_root) {
+          scan_root_cache_ = scan_entry_.image;
+          scan_root_valid_ = true;
+        }
+      }
+      const InnerImage& root_img = (config_.cache_scan_root && scan_root_valid_)
+                                       ? scan_root_cache_
+                                       : scan_entry_.image;
+      expand_into_frontier(ref_.root, root_img, bound, high,
+                           /*lo_bounded=*/true, /*hi_bounded=*/high != nullptr,
+                           /*at=*/0, register_scan_prefix(Slice()));
+      if (frontier_.empty() && fused_root_pending) {
+        // The cached image says the window is empty; confirm with a fresh
+        // read before believing it (a new first-byte subtree may exist).
+        fused_root_pending = false;
+        if (fetch_inner(ref_.root, NodeType::kN256, &scan_root_cache_)) {
+          expand_into_frontier(ref_.root, scan_root_cache_, bound, high, true,
+                               high != nullptr, 0,
+                               register_scan_prefix(Slice()));
+        }
+      }
+    }
+    if (have_exhausted) {
+      have_exhausted = false;
+      for (auto it2 = frontier_.begin(); it2 != frontier_.end(); ++it2) {
+        if (!slot_is_leaf(it2->word) && slot_addr(it2->word) == exhausted_subtree) {
+          frontier_.erase(it2);
           break;
         }
       }
-      chunk_end = std::max(j, i + 1);
-      rdma::DoorbellBatch batch(endpoint_);
-      for (size_t k = chunk_base; k < chunk_end; ++k) {
-        const uint64_t cs = visit[k];
-        if (slot_is_leaf(cs)) {
-          leaves[k - chunk_base].resize(slot_leaf_units(cs));
-          batch.add_read(slot_addr(cs), leaves[k - chunk_base].buf().data(),
-                         leaves[k - chunk_base].buf().size());
-        } else {
-          batch.add_read(slot_addr(cs), inners[k - chunk_base].raw(),
-                         inner_node_bytes(slot_child_type(cs)));
-        }
-      }
-      batch.execute();
     }
-    const size_t b = config_.batched_scan ? i - chunk_base : 0;
-    const uint64_t s = visit[i];
-    const bool child_bounded = bounded && slot_pkey(s) == bound_byte;
-    if (slot_is_leaf(s)) {
-      if (!config_.batched_scan) {
-        if (!read_leaf(slot_addr(s), slot_leaf_units(s), &leaves[b])) continue;
-      } else if (!leaves[b].checksum_ok()) {
-        // Torn under the batched read; re-fetch once.
-        if (!read_leaf(slot_addr(s), slot_leaf_units(s), &leaves[b])) continue;
-      }
-      const LeafImage& leaf = leaves[b];
-      if (leaf.status() == NodeStatus::kInvalid) continue;
-      if (child_bounded && leaf.key().compare(bound.full()) < 0) continue;
-      // In-order walk: the first leaf beyond the upper bound ends a
-      // Scan(K1, K2) (terminated keys compare in user-key order).
-      if (high != nullptr && leaf.key().compare(high->full()) > 0) {
-        return true;
-      }
-      const Slice k = leaf.key();
-      out->emplace_back(std::string(k.data(), k.size() - 1),  // drop NUL
-                        leaf.value().to_string());
-      if (out->size() >= count) return true;
-    } else {
-      if (!config_.batched_scan) {
-        if (!fetch_inner(slot_addr(s), slot_child_type(s), &inners[b])) {
-          continue;
+
+    // ---- frontier walk -----------------------------------------------------
+    bool restart = false;
+    while (head < frontier_.size() && out->size() < count && !restart) {
+      if (!frontier_[head].fetched) {
+        // Fetch the leading unvisited children in one doorbell batch: walk
+        // forward until the items traversed guarantee the remaining count
+        // (each pending child holds at least one live key in the common
+        // case) or the fanout cap is hit. Leaf runs and sibling-subtree
+        // inner nodes ride the same round trip.
+        const size_t needed = count - out->size();
+        const size_t max_batch = config_.batched_scan ? kScanFanout : 1;
+        // Pass 1 picks the items and allocates their buffers (which may
+        // grow the pools and move them); pass 2 takes the now-stable
+        // pointers for the doorbell.
+        size_t guaranteed = 0;
+        size_t spec_inner_bytes = 0;
+        bool have_inner = false;
+        batch_picks_.clear();
+        for (size_t i = head; i < frontier_.size(); ++i) {
+          if (batch_picks_.size() >= max_batch) break;
+          if (guaranteed >= needed && !batch_picks_.empty()) break;
+          ScanItem& it = frontier_[i];
+          const bool is_leaf = slot_is_leaf(it.word);
+          if (!is_leaf && !it.fetched && have_inner) {
+            // Second and later inners draw on the speculation budget.
+            const size_t nb = inner_node_bytes(slot_child_type(it.word));
+            if (spec_inner_bytes + nb > kScanSpecInnerBytes) break;
+            spec_inner_bytes += nb;
+          }
+          if (!it.fetched) {
+            it.buf = is_leaf ? alloc_leaf() : alloc_inner();
+            it.fetched = true;
+            batch_picks_.push_back(i);
+            if (!is_leaf) have_inner = true;
+          }
+          guaranteed +=
+              is_leaf ? 1
+                      : std::max<size_t>(
+                            1, static_cast<size_t>(scan_keys_per_inner_));
+        }
+        const size_t selected = batch_picks_.size();
+        rdma::DoorbellBatch batch(endpoint_);
+        for (size_t i : batch_picks_) {
+          ScanItem& it = frontier_[i];
+          if (slot_is_leaf(it.word)) {
+            LeafImage& img = scan_leaf_pool_[it.buf];
+            img.resize(slot_leaf_units(it.word));
+            batch.add_read(slot_addr(it.word), img.buf().data(),
+                           img.buf().size());
+          } else {
+            batch.add_read(slot_addr(it.word), scan_inner_pool_[it.buf].raw(),
+                           inner_node_bytes(slot_child_type(it.word)));
+          }
+        }
+        if (fused_root_pending) {
+          // Piggyback the root revalidation on the round trip we are
+          // paying anyway (satellite of the jump-start: no standalone
+          // root RTT even on the --no-scan-jump fallback path).
+          batch.add_read(ref_.root, scan_root_fresh_.raw(),
+                         inner_node_bytes(NodeType::kN256));
+        }
+        batch.execute();
+        stats_.scan.frontier_batches++;
+        stats_.scan.frontier_nodes += selected;
+        if (fused_root_pending) {
+          fused_root_pending = false;
+          const uint32_t lo0 = bound.byte(0);
+          const uint32_t hi0 = high != nullptr ? high->byte(0) : 0xff;
+          bool stale = false;
+          for (uint32_t p = lo0; p <= hi0 && !stale; ++p) {
+            stale = scan_root_cache_.slot(p) != scan_root_fresh_.slot(p);
+          }
+          scan_root_cache_ = scan_root_fresh_;
+          if (stale) {
+            // The cached root missed a structural change inside the scan
+            // window: rebuild the frontier from the fresh image (the
+            // just-fetched children are simply discarded).
+            stats_.scan.root_refreshes++;
+            frontier_.clear();
+            free_inner_bufs_.clear();
+            for (uint32_t i = 0; i < scan_inner_pool_.size(); ++i) {
+              free_inner_bufs_.push_back(i);
+            }
+            free_leaf_bufs_.clear();
+            for (uint32_t i = 0; i < scan_leaf_pool_.size(); ++i) {
+              free_leaf_bufs_.push_back(i);
+            }
+            head = 0;
+            expand_into_frontier(ref_.root, scan_root_cache_, bound, high,
+                                 true, high != nullptr, 0,
+                                 register_scan_prefix(Slice()));
+            continue;
+          }
         }
       }
-      const InnerImage& child = inners[b];
-      if (child.status() == NodeStatus::kInvalid ||
-          child.type() != slot_child_type(s) || child.depth() <= depth) {
-        // Stale pointer mid-scan; re-fetch once, else skip the subtree.
-        InnerImage retry;
-        if (!fetch_inner(slot_addr(s), slot_child_type(s), &retry) ||
-            retry.status() == NodeStatus::kInvalid ||
-            retry.depth() <= depth) {
-          continue;
+
+      // Consume validated items off the front, strictly in key order.
+      while (head < frontier_.size() && frontier_[head].fetched &&
+             out->size() < count) {
+        ScanItem& it = frontier_[head];
+        if (slot_is_leaf(it.word)) {
+          LeafImage& leaf = scan_leaf_pool_[it.buf];
+          const bool torn = leaf.units() != slot_leaf_units(it.word) ||
+                            leaf.revalidate() == LeafImage::Revalidate::kBad;
+          if (torn || leaf.status() == NodeStatus::kInvalid) {
+            if (torn) stats_.torn_leaf_rereads++;
+            release_buf(it);
+            const ScanRecover r =
+                recover_scan_item(it, /*leaf_deleted=*/!torn, policy,
+                                  &attempt);
+            if (r == ScanRecover::kRefetch) break;  // re-batch from head
+            if (r == ScanRecover::kGone) {
+              head++;
+              continue;
+            }
+            if (r == ScanRecover::kRestart) {
+              restart = true;
+              break;
+            }
+            // kDrop: budget exhausted -- a live leaf may be lost; say so.
+            stats_.scan.leaf_drops++;
+            mark_truncated();
+            head++;
+            continue;
+          }
+          const Slice lk = leaf.key();
+          if (!scan_leaf_linked(it, lk)) {
+            // A valid image whose key does not belong at this position:
+            // the original leaf was freed and its block recycled for an
+            // unrelated key. The live parent slot decides what (if
+            // anything) lives on this branch byte now; the original key
+            // was genuinely removed, so skipping is linearizable.
+            release_buf(it);
+            const ScanRecover r =
+                recover_scan_item(it, /*leaf_deleted=*/true, policy,
+                                  &attempt);
+            if (r == ScanRecover::kRefetch) break;
+            if (r == ScanRecover::kGone) {
+              head++;
+              continue;
+            }
+            if (r == ScanRecover::kRestart) {
+              restart = true;
+              break;
+            }
+            stats_.scan.leaf_drops++;
+            mark_truncated();
+            head++;
+            continue;
+          }
+          if (it.lo_bounded) {
+            const int c = lk.compare(bound.full());
+            if (c < 0 || (low_exclusive && c == 0)) {
+              release_buf(it);
+              head++;
+              continue;
+            }
+          }
+          // In-order walk: the first leaf beyond the upper bound completes
+          // a Scan(K1, K2) (terminated keys compare in user-key order).
+          if (high != nullptr && lk.compare(high->full()) > 0) {
+            return;
+          }
+          out->emplace_back(std::string(lk.data(), lk.size() - 1),  // no NUL
+                            leaf.value().to_string());
+          release_buf(it);
+          head++;
+        } else {
+          InnerImage& node = scan_inner_pool_[it.buf];
+          // A node that parses but fails the prefix composition (fragment
+          // or full-hash mismatch) is a recycled block from elsewhere in
+          // the tree -- treat it exactly like a stale pointer.
+          int child_prefix = -1;
+          if (node.status() == NodeStatus::kInvalid ||
+              node.type() != slot_child_type(it.word) ||
+              node.depth() <= it.parent_depth ||
+              (child_prefix = compose_scan_child_prefix(it, node)) < 0) {
+            invalidate_inner(slot_addr(it.word), node);
+            release_buf(it);
+            const ScanRecover r =
+                recover_scan_item(it, /*leaf_deleted=*/false, policy,
+                                  &attempt);
+            if (r == ScanRecover::kRefetch) break;
+            if (r == ScanRecover::kGone) {
+              head++;
+              continue;
+            }
+            if (r == ScanRecover::kRestart) {
+              restart = true;
+              break;
+            }
+            // kDrop: a whole live subtree may be lost; count + truncate.
+            stats_.scan.subtree_skips++;
+            mark_truncated();
+            head++;
+            continue;
+          }
+          const rdma::GlobalAddr addr = slot_addr(it.word);
+          const bool lo_b = it.lo_bounded;
+          const bool hi_b = it.hi_bounded;
+          release_buf(it);
+          head++;
+          // Splice the children in at the consumed position; `node` stays
+          // valid (the freed pool slot is reused only by a later batch).
+          expand_into_frontier(addr, node, bound, high, lo_b, hi_b, head,
+                               static_cast<uint32_t>(child_prefix));
         }
-        if (scan_node(retry, bound, child_bounded, count, high, out,
-                      depth_budget - 1)) {
-          return true;
-        }
-        continue;
       }
-      if (scan_node(child, bound, child_bounded, count, high, out,
-                    depth_budget - 1)) {
-        return true;
+    }
+
+    if (restart) {
+      // A dead ancestor invalidated the frontier's provenance. Re-enter
+      // from the top with everything already emitted excluded; emitted
+      // keys are strictly below every pending item, so no duplicates and
+      // no gaps.
+      stats_.scan.restarts++;
+      if (!out->empty()) {
+        resume.emplace(Slice(out->back().first));
+        low_exclusive = true;
       }
+      continue;
+    }
+    if (out->size() >= count) return;  // satisfied
+    // Frontier exhausted. A range scan's entry covered [low, high]
+    // entirely, and a root entry covered the whole tree: done.
+    if (high != nullptr || entry_depth == 0) return;
+    // Count scan spilled past the entry subtree: widen-and-resume. The
+    // last emitted key becomes the exclusive bound and the next entry must
+    // sit strictly above the exhausted subtree.
+    stats_.scan.widen_resumes++;
+    count_cap = entry_depth - 1;
+    exhausted_subtree = entry_addr;
+    have_exhausted = true;
+    if (!out->empty()) {
+      resume.emplace(Slice(out->back().first));
+      low_exclusive = true;
     }
   }
-  return out->size() >= count;
 }
 
 }  // namespace sphinx::art

@@ -45,6 +45,17 @@ struct TreeConfig {
   // SMART mode: every inner node uses the Node-256 layout regardless of
   // fanout, eliminating type switches at a 2-3x MN memory cost (Fig. 6).
   bool homogeneous_nodes = false;
+  // Enter scans through find_scan_start() (Sphinx: SFC/PEC/INHT jump to the
+  // deepest inner node covering the range) instead of a root descent.
+  // bench_ycsb's --no-scan-jump A/B flag lands here.
+  bool scan_jump = true;
+  // Reuse a validated cached image of the immutable kN256 root for scan
+  // entries: the frontier is seeded from the cached copy and a fresh root
+  // read rides the first frontier batch (re-seeding on mismatch), so a
+  // root-entry scan costs no standalone root round trip. Baselines that
+  // model systems without this (plain ART) or that already front the root
+  // with their own cache (SMART) turn it off.
+  bool cache_scan_root = true;
   uint32_t max_op_retries = 256;
   uint32_t max_leaf_reread = 8;
   // Backoff pacing between op retries (the budget is max_op_retries).
@@ -67,6 +78,7 @@ struct TreeStats {
   uint64_t ops_failed = 0;       // retries exhausted (should stay 0)
   rdma::RecoveryStats recovery;  // lease expiries / reclaims / timeouts
   rdma::BackoffHistogram backoff;
+  rdma::ScanStats scan;          // frontier-scan engine counters
 };
 
 // Bootstrap info for one tree. The root is a Node-256 with empty prefix;
@@ -93,6 +105,7 @@ class RemoteTree : public KvIndex {
   size_t scan_range(
       Slice low_key, Slice high_key, size_t max_results,
       std::vector<std::pair<std::string, std::string>>* out) override;
+  bool last_scan_truncated() const override { return last_scan_truncated_; }
   const char* name() const override { return "art"; }
 
   const TreeStats& tree_stats() const { return stats_; }
@@ -136,6 +149,27 @@ class RemoteTree : public KvIndex {
     (void)key;
     (void)out;
     return false;
+  }
+
+  // Scan-entry variant of find_start: a verified node whose full prefix is
+  // a prefix of `key` AND whose depth is <= max_depth, so the node's
+  // subtree covers the whole remaining scan window (for a range scan,
+  // max_depth is the low/high common prefix; for a count scan it shrinks
+  // by one on every widen-and-resume). Returns false to enter at the root.
+  virtual bool find_scan_start(const TerminatedKey& key, uint32_t max_depth,
+                               PathEntry* out) {
+    (void)key;
+    (void)max_depth;
+    (void)out;
+    return false;
+  }
+
+  // An inner node (depth > 0) the scan frontier expanded; a verified image
+  // fetched from remote memory (Sphinx feeds its filter cache + prefix
+  // entry cache so later scans of nearby ranges can jump).
+  virtual void on_scan_inner(rdma::GlobalAddr addr, const InnerImage& image) {
+    (void)addr;
+    (void)image;
   }
 
   // Called for every inner node traversed during a descent.
@@ -313,13 +347,107 @@ class RemoteTree : public KvIndex {
   bool recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
                         std::string* key_out);
 
-  // Recursive scan helper; returns true when the scan is complete --
-  // `count` results collected, or (when `high` is non-null) the in-order
-  // walk passed beyond *high.
-  bool scan_node(const InnerImage& node, const TerminatedKey& bound,
-                 bool bounded, size_t count, const TerminatedKey* high,
-                 std::vector<std::pair<std::string, std::string>>* out,
-                 uint32_t depth_budget);
+  // ---- frontier-batched scan engine ----------------------------------------
+  //
+  // Scans walk a key-ordered frontier of pending children instead of
+  // recursing one subtree at a time: every round fetches the leading
+  // unvisited children *across subtrees* in one doorbell batch (capped at
+  // kScanFanout), emits leaves in order from the front, and splices an
+  // expanded inner node's children in place. Stale pointers are
+  // re-resolved through the parent's slot word under the per-op
+  // RetryPolicy; exhausted budgets surface as counted skips/drops plus
+  // last_scan_truncated(), never as silent omissions.
+
+  // One pending child in the frontier. Carries enough of the parent to
+  // re-resolve the slot when the fetched image turns out stale.
+  struct ScanItem {
+    uint64_t word = 0;  // parent slot word naming this child
+    rdma::GlobalAddr parent_addr;
+    uint32_t parent_slot = 0;   // slot index inside the parent
+    uint32_t parent_depth = 0;  // depth of the parent node
+    bool lo_bounded = false;    // every ancestor byte matched the low bound
+    bool hi_bounded = false;    // every ancestor byte matched the high bound
+    bool fetched = false;
+    uint32_t buf = 0;        // image pool slot once fetched
+    uint32_t retries = 0;    // per-item stale re-resolutions
+    uint32_t prefix_id = 0;  // parent's verified prefix (scan_prefixes_)
+  };
+
+  // Drives one full scan: count-scan when `high` is null (with
+  // widen-and-resume past the entry subtree), Scan(K1, K2) otherwise.
+  // Resume/restart rounds re-enter with the last emitted key as an
+  // exclusive lower bound.
+  void run_scan(const TerminatedKey& low, const TerminatedKey* high,
+                size_t count,
+                std::vector<std::pair<std::string, std::string>>* out);
+
+  // Appends `node`'s in-window children to the frontier at `at` (in key
+  // order) and reports the node to on_scan_inner. `prefix_id` names the
+  // verified prefix of `node` itself; the children inherit it as their
+  // parent linkage check.
+  void expand_into_frontier(rdma::GlobalAddr addr, const InnerImage& node,
+                            const TerminatedKey& bound,
+                            const TerminatedKey* high, bool lo_bounded,
+                            bool hi_bounded, size_t at, uint32_t prefix_id);
+
+  // ---- frontier linkage verification ---------------------------------------
+  // Freed nodes return to client-local freelists and are recycled, so an
+  // address snapshotted into the frontier can be reused for an unrelated,
+  // internally-valid node before the scan fetches it (ABA). Point ops are
+  // immune because they re-compare the leaf key against the search key;
+  // scans instead verify every fetched node against the bytes its frontier
+  // position implies: the chain of branch bytes from the (validated) entry
+  // prefix, extended by each node's stored prefix fragment, with the full
+  // 64-bit prefix hash checked whenever the composed prefix has no
+  // compression gap. A mismatch is re-resolved through the live parent
+  // slot like any stale pointer.
+
+  // Records a fully-known prefix (scan entry), returning its id.
+  uint32_t register_scan_prefix(Slice prefix);
+  // Extends `item`'s parent prefix with its branch byte and `node`'s
+  // fragment; returns the new prefix id, or -1 on a definite mismatch
+  // (recycled or foreign node).
+  int compose_scan_child_prefix(const ScanItem& item, const InnerImage& node);
+  // Whether a fetched leaf's (terminated) key matches every known byte of
+  // the position `item` represents.
+  bool scan_leaf_linked(const ScanItem& item, Slice terminated_key) const;
+
+  // Outcome of re-resolving a stale/torn frontier item via its parent.
+  enum class ScanRecover {
+    kRefetch,  // item updated (or backoff charged); fetch it again
+    kGone,     // slot cleared or leaf deleted: skip silently, no data loss
+    kRestart,  // path above the item is stale: rebuild the whole frontier
+    kDrop,     // retry budget exhausted: count the loss and truncate
+  };
+  ScanRecover recover_scan_item(ScanItem& item, bool leaf_deleted,
+                                rdma::RetryPolicy& policy, uint32_t* attempt);
+
+  // Frontier scratch, reused across scans (images are multi-KiB).
+  std::vector<ScanItem> frontier_;
+  std::vector<InnerImage> scan_inner_pool_;
+  std::vector<LeafImage> scan_leaf_pool_;
+  std::vector<uint32_t> free_inner_bufs_;
+  std::vector<uint32_t> free_leaf_bufs_;
+  std::vector<std::pair<uint64_t, uint32_t>> slot_scratch_;  // (word, index)
+  std::vector<size_t> batch_picks_;  // frontier indices read by this batch
+  // Verified prefixes for the current round, indexed by ScanItem.prefix_id.
+  // The mask marks which bytes are known ('\1'): a path-compression gap
+  // longer than the stored fragment leaves unknown bytes, checked
+  // optimistically at the leaf exactly like point descents.
+  std::vector<std::string> scan_prefixes_;
+  std::vector<std::string> scan_prefix_masks_;
+  // Keys an unvisited inner child is expected to contribute, learned from
+  // leaf-level expansions of the current scan. Starts at the full remaining
+  // count (= fetch one inner at a time, zero speculation) and drops to the
+  // observed leaf fan-out, letting later batches span sibling subtrees
+  // without overfetching nodes the count will never reach.
+  double scan_keys_per_inner_ = 1;
+  PathEntry scan_entry_;
+  // Validated root image reused across scans (config_.cache_scan_root).
+  InnerImage scan_root_cache_;
+  InnerImage scan_root_fresh_;
+  bool scan_root_valid_ = false;
+  bool last_scan_truncated_ = false;
 };
 
 }  // namespace sphinx::art

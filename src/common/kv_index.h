@@ -40,6 +40,13 @@ class KvIndex {
       Slice low_key, Slice high_key, size_t max_results,
       std::vector<std::pair<std::string, std::string>>* out) = 0;
 
+  // True when the most recent scan/scan_range on this client ended early
+  // for a reason other than satisfying `count`/`max_results` (e.g. retries
+  // against stale remote nodes were exhausted), i.e. live keys inside the
+  // requested window may be missing from the results. Implementations that
+  // can always complete return false.
+  virtual bool last_scan_truncated() const { return false; }
+
   virtual const char* name() const = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "core/sphinx_index.h"
 
+#include <algorithm>
+
 namespace sphinx::core {
 
 SphinxRefs create_sphinx(mem::Cluster& cluster, uint8_t inht_initial_depth) {
@@ -108,26 +110,25 @@ bool SphinxIndex::try_start_at(uint32_t len, uint64_t hash, bool inht_on_miss,
   return adopt_candidate(len, hash, payload_scratch_, out);
 }
 
-bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
-  const uint32_t len = key.size();
-  if (len < 2) return false;  // only the root can be an ancestor
+bool SphinxIndex::start_search(const art::TerminatedKey& key,
+                               uint32_t max_len, PathEntry* out) {
+  if (max_len < 1) return false;  // only the root can be an ancestor
 
-  // Hash every proper prefix locally (lengths 1 .. len-1).
-  hash_scratch_.resize(len);
-  for (uint32_t l = 1; l < len; ++l) {
+  // Hash every candidate prefix locally (lengths 1 .. max_len).
+  hash_scratch_.resize(max_len + 1);
+  for (uint32_t l = 1; l <= max_len; ++l) {
     hash_scratch_[l] = key.hash_of_prefix(l);
   }
-  endpoint_.advance_local(config_.prefix_hash_ns * (len - 1));
+  endpoint_.advance_local(config_.prefix_hash_ns * max_len);
 
   if (filter_ != nullptr) {
     // Longest prefix present in the succinct filter cache -> PEC probe,
     // then at most one hash-entry read (Sec. III-B).
-    for (uint32_t l = len - 1; l >= 1; --l) {
+    for (uint32_t l = max_len; l >= 1; --l) {
       endpoint_.advance_local(config_.filter_probe_ns);
       if (!filter_->contains(hash_scratch_[l])) continue;
       sstats_.filter_hits++;
       if (try_start_at(l, hash_scratch_[l], /*inht_on_miss=*/true, out)) {
-        sstats_.start_successes++;
         return true;
       }
       // False positive (or stale entry): retry with a shorter prefix, as
@@ -138,9 +139,8 @@ bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
     // PEC-only ablation (no filter): the entry cache doubles as the
     // existence hint. Misses cost nothing remotely; the parallel INHT
     // read below stays the backstop.
-    for (uint32_t l = len - 1; l >= 1; --l) {
+    for (uint32_t l = max_len; l >= 1; --l) {
       if (try_start_at(l, hash_scratch_[l], /*inht_on_miss=*/false, out)) {
-        sstats_.start_successes++;
         return true;
       }
     }
@@ -149,29 +149,47 @@ bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
   // Parallel INHT read: the hash entries of all prefixes in one
   // doorbell-batched round trip (Sec. III-A).
   sstats_.parallel_fallbacks++;
-  group_scratch_.resize(len);
+  group_scratch_.resize(max_len + 1);
   {
     rdma::DoorbellBatch batch(endpoint_);
-    for (uint32_t l = 1; l < len; ++l) {
+    for (uint32_t l = 1; l <= max_len; ++l) {
       const race::RaceClient::Probe probe = inht_.plan_probe(hash_scratch_[l]);
       batch.add_read(probe.group_addr, group_scratch_[l].data(),
                      race::kGroupBytes);
     }
     batch.execute();
   }
-  for (uint32_t l = len - 1; l >= 1; --l) {
+  for (uint32_t l = max_len; l >= 1; --l) {
     payload_scratch_.clear();
     race::RaceClient::match_group(hash_scratch_[l], group_scratch_[l].data(),
                                   payload_scratch_);
     if (payload_scratch_.empty()) continue;
     if (adopt_candidate(l, hash_scratch_[l], payload_scratch_, out)) {
-      sstats_.start_successes++;
       if (filter_ != nullptr) filter_->insert(hash_scratch_[l]);
       return true;
     }
   }
-  sstats_.root_fallbacks++;
   return false;
+}
+
+bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
+  if (!start_search(key, key.size() - 1, out)) {
+    sstats_.root_fallbacks++;
+    return false;
+  }
+  sstats_.start_successes++;
+  return true;
+}
+
+bool SphinxIndex::find_scan_start(const art::TerminatedKey& key,
+                                  uint32_t max_depth, PathEntry* out) {
+  const uint32_t cap = std::min<uint32_t>(max_depth, key.size() - 1);
+  if (!start_search(key, cap, out)) {
+    sstats_.scan_root_fallbacks++;
+    return false;
+  }
+  sstats_.scan_start_successes++;
+  return true;
 }
 
 }  // namespace sphinx::core

@@ -72,6 +72,8 @@ struct SphinxStats {
   uint64_t pec_stale = 0;          // cached payload failed node validation
   uint64_t speculative_wins = 0;   // fused cold-hit read validated
   uint64_t speculative_losses = 0; // fused read stale; group rescued the op
+  uint64_t scan_start_successes = 0;  // scans entered below the root
+  uint64_t scan_root_fallbacks = 0;   // scan entry search failed -> root
 };
 
 class SphinxIndex final : public art::RemoteTree {
@@ -95,6 +97,29 @@ class SphinxIndex final : public art::RemoteTree {
 
  protected:
   bool find_start(const art::TerminatedKey& key, PathEntry* out) override;
+
+  // Scan entry: same SFC -> PEC/INHT machinery, but capped at `max_depth`
+  // so the entry node's subtree covers the whole scan window (Sec. IV
+  // applied to range starts).
+  bool find_scan_start(const art::TerminatedKey& key, uint32_t max_depth,
+                       PathEntry* out) override;
+
+  // Every inner node a scan frontier expands is a freshly verified
+  // (prefix, node) binding: feed both CN cache tiers, so scans warm the
+  // same state point descents rely on. Mirrors on_visit_inner plus the PEC
+  // refresh from on_inner_switched.
+  void on_scan_inner(rdma::GlobalAddr addr,
+                     const art::InnerImage& image) override {
+    if (filter_ != nullptr) {
+      endpoint_.advance_local(config_.filter_probe_ns);
+      filter_->insert(image.prefix_hash_full());
+    }
+    if (pec_ != nullptr) {
+      endpoint_.advance_local(config_.pec_probe_ns);
+      pec_->insert(image.prefix_hash_full(),
+                   pack_inht_payload(image.type(), addr));
+    }
+  }
 
   void on_visit_inner(const art::TerminatedKey& key,
                       const PathEntry& entry) override {
@@ -156,6 +181,13 @@ class SphinxIndex final : public art::RemoteTree {
   }
 
  private:
+  // Shared body of find_start/find_scan_start: longest verified prefix of
+  // `key` no longer than `max_len`, tried filter-first. Bumps the shared
+  // path counters (filter/PEC/parallel) but not the outcome counters --
+  // those belong to the wrappers.
+  bool start_search(const art::TerminatedKey& key, uint32_t max_len,
+                    PathEntry* out);
+
   // Validates the node freshly fetched into out->image against what the
   // hash entry (or PEC) claimed, completing *out on success. Shared by the
   // INHT candidate loop and the PEC speculative paths.

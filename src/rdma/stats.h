@@ -140,6 +140,40 @@ struct RecoveryStats {
   }
 };
 
+// Range-scan engine counters kept per tree client (remote_tree.cpp) and
+// aggregated into bench JSON. The two "data loss" counters at the bottom
+// must stay zero in any fault-free run; CI asserts this on YCSB-E.
+struct ScanStats {
+  uint64_t scans = 0;             // scan()/scan_range() calls
+  uint64_t jump_starts = 0;       // entered below the root (find_scan_start)
+  uint64_t root_starts = 0;       // entered at the root (cached or fetched)
+  uint64_t widen_resumes = 0;     // count-scan spilled past its entry subtree
+  uint64_t restarts = 0;          // frontier rebuilt after a stale path
+  uint64_t frontier_batches = 0;  // doorbell batches issued by the frontier
+  uint64_t frontier_nodes = 0;    // nodes fetched by those batches
+  uint64_t root_refreshes = 0;    // cached root image found stale, reseeded
+  uint64_t stale_retries = 0;     // stale child re-resolved via parent slot
+  uint64_t subtree_skips = 0;     // inner child dropped, retries exhausted
+  uint64_t leaf_drops = 0;        // leaf dropped, retries exhausted
+  uint64_t truncated_scans = 0;   // scans that reported incompleteness
+
+  ScanStats& operator+=(const ScanStats& o) {
+    scans += o.scans;
+    jump_starts += o.jump_starts;
+    root_starts += o.root_starts;
+    widen_resumes += o.widen_resumes;
+    restarts += o.restarts;
+    frontier_batches += o.frontier_batches;
+    frontier_nodes += o.frontier_nodes;
+    root_refreshes += o.root_refreshes;
+    stale_retries += o.stale_retries;
+    subtree_skips += o.subtree_skips;
+    leaf_drops += o.leaf_drops;
+    truncated_scans += o.truncated_scans;
+    return *this;
+  }
+};
+
 // Log2 histogram of the virtual backoff waits charged by RetryPolicy:
 // bucket i counts waits in [2^i, 2^(i+1)) ns.
 struct BackoffHistogram {

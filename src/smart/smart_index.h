@@ -32,6 +32,9 @@ class SmartIndex final : public art::RemoteTree {
     art::TreeConfig config;
     config.batched_scan = true;
     config.homogeneous_nodes = true;
+    // SMART's NodeCache already fronts the root (fetch_inner interposes);
+    // an extra CN-side root image would double-count a cache SMART lacks.
+    config.cache_scan_root = false;
     return config;
   }
 

@@ -86,6 +86,10 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     uint64_t insert_overflow = 0;
     uint64_t client_crashes = 0;
     uint64_t end_clock_ns = 0;
+    uint64_t scan_ops = 0;
+    uint64_t scan_keys = 0;
+    uint64_t scan_truncated = 0;
+    uint64_t scan_round_trips = 0;
   };
   std::vector<WorkerOut> outs(options.workers);
   std::vector<std::thread> threads;
@@ -154,7 +158,12 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
           } else {
             const uint64_t idx = dist->next(rng);
             const size_t len = 1 + rng.next_below(spec.max_scan_len);
-            index->scan(keys_[idx], len, &scan_buf);
+            const uint64_t rtts_before = endpoint->stats().round_trips;
+            out.scan_keys += index->scan(keys_[idx], len, &scan_buf);
+            out.scan_round_trips +=
+                endpoint->stats().round_trips - rtts_before;
+            out.scan_ops++;
+            if (index->last_scan_truncated()) out.scan_truncated++;
           }
         } catch (const rdma::ClientCrashed&) {
           out.client_crashes++;
@@ -183,6 +192,10 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.misses += out.misses;
     result.insert_overflow += out.insert_overflow;
     result.client_crashes += out.client_crashes;
+    result.scan_ops += out.scan_ops;
+    result.scan_keys += out.scan_keys;
+    result.scan_truncated += out.scan_truncated;
+    result.scan_round_trips += out.scan_round_trips;
     cn_msgs[w % num_cns] += out.net.messages;
     max_clock = std::max(max_clock, out.end_clock_ns);
   }
@@ -225,6 +238,10 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
                        static_cast<double>(result.total_ops);
   result.read_bytes_per_op = static_cast<double>(result.net.bytes_read) /
                              static_cast<double>(result.total_ops);
+  result.scan_rtts_per_op =
+      result.scan_ops > 0 ? static_cast<double>(result.scan_round_trips) /
+                                static_cast<double>(result.scan_ops)
+                          : 0;
   return result;
 }
 

@@ -72,6 +72,12 @@ struct RunResult {
   rdma::EndpointStats net;
   double rtts_per_op = 0;
   double read_bytes_per_op = 0;
+  // Scan-op breakdown (E-style workloads; all zero elsewhere).
+  uint64_t scan_ops = 0;
+  uint64_t scan_keys = 0;         // pairs returned across all scans
+  uint64_t scan_truncated = 0;    // scans reporting possible missing keys
+  uint64_t scan_round_trips = 0;  // RTTs spent inside scan calls
+  double scan_rtts_per_op = 0;    // scan_round_trips / scan_ops
 };
 
 class YcsbRunner {

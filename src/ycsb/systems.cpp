@@ -85,13 +85,17 @@ SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
 std::unique_ptr<KvIndex> SystemSetup::make_client(
     uint32_t cn, rdma::Endpoint& endpoint, mem::RemoteAllocator& allocator) {
   switch (kind_) {
-    case SystemKind::kSphinx:
+    case SystemKind::kSphinx: {
+      core::SphinxConfig config;
+      config.tree.scan_jump = scan_jump_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get(),
-          pec(cn));
+          pec(cn), config);
+    }
     case SystemKind::kSphinxNoFilter: {
       core::SphinxConfig config;
       config.use_filter = false;
+      config.tree.scan_jump = scan_jump_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, nullptr, pec(cn),
           config);

@@ -74,6 +74,11 @@ class SystemSetup {
   // CN-side cache memory actually in use (filter slots / cached nodes).
   uint64_t cn_cache_bytes(uint32_t cn) const;
 
+  // A/B switch for bench_ycsb --no-scan-jump: when false, Sphinx clients
+  // enter scans at the root like the baselines (SFC/PEC still serve point
+  // ops). No effect on non-Sphinx systems.
+  void set_scan_jump(bool enabled) { scan_jump_ = enabled; }
+
   filter::CuckooFilter* filter(uint32_t cn) {
     return cn < filters_.size() ? filters_[cn].get() : nullptr;
   }
@@ -93,6 +98,7 @@ class SystemSetup {
   SystemKind kind_;
   mem::Cluster& cluster_;
   std::string name_;
+  bool scan_jump_ = true;
   art::TreeRef tree_ref_;
   bptree::BpTreeRef bptree_ref_;
   std::unique_ptr<core::SphinxRefs> sphinx_refs_;

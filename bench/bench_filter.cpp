@@ -102,12 +102,7 @@ void end_to_end_counters(uint64_t num_keys) {
   core::SphinxStats totals;
   runner.set_per_worker_hook([&totals](KvIndex& index, uint32_t) {
     auto& sphinx_index = dynamic_cast<core::SphinxIndex&>(index);
-    const core::SphinxStats& s = sphinx_index.sphinx_stats();
-    totals.filter_hits += s.filter_hits;
-    totals.fp_rejects += s.fp_rejects;
-    totals.start_successes += s.start_successes;
-    totals.parallel_fallbacks += s.parallel_fallbacks;
-    totals.root_fallbacks += s.root_fallbacks;
+    totals += sphinx_index.sphinx_stats();
   });
   ycsb::RunOptions warm;
   warm.workers = 24;

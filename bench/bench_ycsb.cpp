@@ -10,8 +10,8 @@
 //   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
 //              [--faults=0.02] [--crash-rate=0.0001] [--fault-seed=42]
-//              [--json=out.json] [--pec-budget=<bytes>] [--no-pec]
-//              [--no-scan-jump]
+//              [--json=out.json] [--trace=out.trace.json]
+//              [--pec-budget=<bytes>] [--no-pec] [--no-scan-jump]
 //
 // --faults=<rate> installs the standard background fault schedule
 // (rdma/fault_injector.h) on the fabric for the measured phases: per-verb
@@ -27,11 +27,17 @@
 //
 // --json=<path> additionally writes one machine-readable record per
 // (system, dataset, workload) -- throughput, RTTs/op, read bytes/op, mean
-// latency, crash/recovery counters -- for regression tracking (see
-// BENCH_seed.json).
+// latency, per-phase RTT/byte attribution, crash/recovery counters -- for
+// regression tracking (see BENCH_seed.json and
+// tools/check_bench_regression.py).
+// --trace=<path> records sampled per-op trace spans (1 in 32 ops) during
+// every measured phase and writes a Chrome trace_event JSON on exit; open
+// it in chrome://tracing or Perfetto. One trace process per
+// (system, dataset, workload).
 // --pec-budget=<bytes> overrides the Sphinx prefix-entry-cache budget
 // (default: 25% of the CN cache budget); --no-pec disables the PEC,
 // reproducing the seed SFC-only configuration.
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -39,7 +45,9 @@
 
 #include "art/remote_tree.h"
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "core/sphinx_index.h"
+#include "rdma/trace.h"
 
 namespace sphinx::bench {
 namespace {
@@ -49,19 +57,11 @@ namespace {
 struct JsonRecord {
   std::string system;
   std::string dataset;
-  std::string workload;
-  double ops_per_sec;
-  double rtts_per_op;
-  double read_bytes_per_op;
-  double mean_latency_ns;
-  uint64_t client_crashes = 0;
+  ycsb::RunResult result;
   rdma::RecoveryStats recovery;
   rdma::BackoffHistogram backoff;
   // Scan breakdown (workload E; zero elsewhere). scan_subtree_skips and
   // scan_leaf_drops must be zero in any fault-free run -- CI asserts it.
-  uint64_t scan_ops = 0;
-  double scan_rtts_per_op = 0;
-  uint64_t scan_truncated_ops = 0;
   rdma::ScanStats scan;
 };
 
@@ -95,50 +95,75 @@ struct RecoveryAgg {
   }
 };
 
+// Serializes one per-phase array as a nested JSON object, keyed by phase
+// name, dropping zero entries (workloads exercise few phases each).
+std::string phase_breakdown_json(
+    const std::array<uint64_t, rdma::kNumPhases>& by_phase) {
+  std::ostringstream os;
+  metrics::JsonObjectWriter w(os);
+  for (uint32_t p = 0; p < rdma::kNumPhases; ++p) {
+    if (by_phase[p] == 0) continue;
+    w.field(rdma::phase_name(static_cast<rdma::Phase>(p)), by_phase[p]);
+  }
+  w.close();
+  return os.str();
+}
+
 void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open --json path: " << path << "\n";
     return;
   }
+  out.precision(10);
   out << "[\n";
   for (size_t i = 0; i < recs.size(); ++i) {
     const JsonRecord& r = recs[i];
-    std::ostringstream line;
-    line.precision(6);
-    line << "  {\"system\": \"" << r.system << "\", \"dataset\": \""
-         << r.dataset << "\", \"workload\": \"" << r.workload
-         << "\", \"ops_per_sec\": " << std::fixed << r.ops_per_sec
-         << ", \"rtts_per_op\": " << r.rtts_per_op
-         << ", \"read_bytes_per_op\": " << r.read_bytes_per_op
-         << ", \"mean_latency_ns\": " << r.mean_latency_ns
-         << ", \"client_crashes\": " << r.client_crashes
-         << ", \"lock_reclaims\": " << r.recovery.lock_reclaims
-         << ", \"lock_rollforwards\": " << r.recovery.lock_rollforwards
-         << ", \"lease_expiries_observed\": "
-         << r.recovery.lease_expiries_observed
-         << ", \"retry_timeouts\": " << r.recovery.retry_timeouts
-         << ", \"scan_ops\": " << r.scan_ops
-         << ", \"scan_rtts_per_op\": " << r.scan_rtts_per_op
-         << ", \"scan_truncated_ops\": " << r.scan_truncated_ops
-         << ", \"scan_jump_starts\": " << r.scan.jump_starts
-         << ", \"scan_root_starts\": " << r.scan.root_starts
-         << ", \"scan_widen_resumes\": " << r.scan.widen_resumes
-         << ", \"scan_restarts\": " << r.scan.restarts
-         << ", \"scan_frontier_batches\": " << r.scan.frontier_batches
-         << ", \"scan_frontier_nodes\": " << r.scan.frontier_nodes
-         << ", \"scan_root_refreshes\": " << r.scan.root_refreshes
-         << ", \"scan_stale_retries\": " << r.scan.stale_retries
-         << ", \"scan_subtree_skips\": " << r.scan.subtree_skips
-         << ", \"scan_leaf_drops\": " << r.scan.leaf_drops
-         << ", \"backoff_waits\": " << r.backoff.waits
-         << ", \"backoff_wait_ns\": " << r.backoff.wait_ns
-         << ", \"backoff_hist\": [";
-    for (uint32_t b = 0; b < rdma::BackoffHistogram::kBuckets; ++b) {
-      line << (b > 0 ? ", " : "") << r.backoff.buckets[b];
+    const ycsb::RunResult& res = r.result;
+    out << "  ";
+    metrics::JsonObjectWriter w(out);
+    w.field("system", r.system);
+    w.field("dataset", r.dataset);
+    w.field("workload", res.workload);
+    w.field("ops_per_sec", res.ops_per_sec);
+    w.field("rtts_per_op", res.rtts_per_op);
+    w.field("read_bytes_per_op", res.read_bytes_per_op);
+    // Dual latency view: effective (queueing-adjusted, consistent with
+    // ops_per_sec) alongside the unloaded histogram mean, with the stretch
+    // factor that relates them. Percentiles are effective, like the mean.
+    w.field("mean_latency_ns", res.mean_latency_ns);
+    w.field("mean_unloaded_latency_ns", res.mean_unloaded_latency_ns);
+    w.field("latency_stretch", res.latency_stretch);
+    w.field("p50_ns", res.effective_percentile_ns(50));
+    w.field("p99_ns", res.effective_percentile_ns(99));
+    w.field("nic_utilization", res.nic_utilization);
+    w.field("total_ops", res.total_ops);
+    w.field("round_trips", res.net.round_trips);
+    w.field("misses", res.misses);
+    w.field("insert_failures", res.insert_failures);
+    w.field("client_crashes", res.client_crashes);
+    // Per-phase RTT/byte attribution; entries sum exactly to round_trips /
+    // bytes_read+bytes_written (verified after every run).
+    w.raw_field("phase_rtts", phase_breakdown_json(res.net.rtts_by_phase));
+    w.raw_field("phase_bytes", phase_breakdown_json(res.net.bytes_by_phase));
+    metrics::write_fields(w, r.recovery, rdma::kRecoveryStatsFields);
+    w.field("scan_ops", res.scan_ops);
+    w.field("scan_rtts_per_op", res.scan_rtts_per_op);
+    w.field("scan_truncated_ops", res.scan_truncated);
+    metrics::write_fields(w, r.scan, rdma::kScanStatsFields, "scan_");
+    w.field("backoff_waits", r.backoff.waits);
+    w.field("backoff_wait_ns", r.backoff.wait_ns);
+    {
+      std::ostringstream hist;
+      hist << "[";
+      for (uint32_t b = 0; b < rdma::BackoffHistogram::kBuckets; ++b) {
+        hist << (b > 0 ? ", " : "") << r.backoff.buckets[b];
+      }
+      hist << "]";
+      w.raw_field("backoff_hist", hist.str());
     }
-    line << "]}";
-    out << line.str() << (i + 1 < recs.size() ? ",\n" : "\n");
+    w.close();
+    out << (i + 1 < recs.size() ? ",\n" : "\n");
   }
   out << "]\n";
 }
@@ -155,6 +180,7 @@ int run(int argc, char** argv) {
   const double crash_rate = flags.get_double("crash-rate", 0.0);
   const uint64_t fault_seed = flags.get_u64("fault-seed", 42);
   const std::string json_path = flags.get_string("json", "");
+  const std::string trace_path = flags.get_string("trace", "");
   // A/B switch: run Sphinx scans without the SFC/PEC entry jump (root
   // descents, like the baselines). Point ops keep their caches.
   const bool scan_jump = !flags.get_bool("no-scan-jump", false);
@@ -166,6 +192,11 @@ int run(int argc, char** argv) {
           : flags.has("pec-budget") ? flags.get_u64("pec-budget", 0)
                                     : ycsb::kAutoPecBudget;
   std::vector<JsonRecord> json_records;
+  // One recorder per measured (system, dataset, workload) phase; deque for
+  // stable addresses (TraceProcess keeps pointers into it).
+  std::deque<rdma::TraceRecorder> trace_recorders;
+  std::vector<rdma::TraceProcess> trace_processes;
+  bool attribution_ok = true;
 
   std::cout << "# Fig. 4 -- YCSB throughput, " << num_keys
             << " loaded keys, " << workers << " workers x " << ops_per_worker
@@ -233,8 +264,32 @@ int run(int argc, char** argv) {
         options.ops_per_worker =
             w == 'E' ? std::max<uint64_t>(ops_per_worker / 10, 50)
                      : ops_per_worker;
+        if (!trace_path.empty()) {
+          trace_recorders.emplace_back();
+          options.trace = &trace_recorders.back();
+        }
         const ycsb::RunResult result =
             runner.run(ycsb::standard_workload(w), options);
+        if (options.trace != nullptr) {
+          trace_processes.push_back(
+              {std::string(setup.name()) + "/" +
+                   ycsb::dataset_name(dataset) + "/" + result.workload,
+               options.trace});
+        }
+        // Attribution invariant: every round trip (and byte) carries exactly
+        // one phase tag. A mismatch means a stats bump site bypassed the
+        // phase accounting -- fail the whole bench run.
+        if (result.net.rtts_sum_by_phase() != result.net.round_trips ||
+            result.net.bytes_sum_by_phase() != result.net.bytes_total()) {
+          std::cerr << "ERROR: phase attribution mismatch for "
+                    << setup.name() << "/" << ycsb::dataset_name(dataset)
+                    << "/" << result.workload << ": sum(phase_rtts)="
+                    << result.net.rtts_sum_by_phase()
+                    << " round_trips=" << result.net.round_trips
+                    << " sum(phase_bytes)=" << result.net.bytes_sum_by_phase()
+                    << " bytes_total=" << result.net.bytes_total() << "\n";
+          attribution_ok = false;
+        }
         tput[static_cast<size_t>(row)][static_cast<size_t>(sys_col)] =
             result.ops_per_sec;
         std::cerr << "  " << result.workload << ": "
@@ -264,13 +319,9 @@ int run(int argc, char** argv) {
                     << recovery_agg.recovery.retry_timeouts << "\n";
         }
         if (!json_path.empty()) {
-          json_records.push_back(
-              {setup.name(), ycsb::dataset_name(dataset), result.workload,
-               result.ops_per_sec, result.rtts_per_op,
-               result.read_bytes_per_op, result.mean_latency_ns,
-               result.client_crashes, recovery_agg.recovery,
-               recovery_agg.backoff, result.scan_ops, result.scan_rtts_per_op,
-               result.scan_truncated, recovery_agg.scan});
+          json_records.push_back({setup.name(), ycsb::dataset_name(dataset),
+                                  result, recovery_agg.recovery,
+                                  recovery_agg.backoff, recovery_agg.scan});
         }
         row++;
       }
@@ -300,6 +351,27 @@ int run(int argc, char** argv) {
     write_json(json_path, json_records);
     std::cerr << "wrote " << json_records.size() << " records to "
               << json_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream tout(trace_path);
+    if (!tout) {
+      std::cerr << "cannot open --trace path: " << trace_path << "\n";
+    } else {
+      rdma::write_chrome_trace(tout, trace_processes);
+      uint64_t events = 0;
+      uint64_t dropped = 0;
+      for (const rdma::TraceRecorder& rec : trace_recorders) {
+        events += rec.events().size();
+        dropped += rec.dropped();
+      }
+      std::cerr << "wrote " << events << " trace events ("
+                << dropped << " dropped at buffer capacity) to "
+                << trace_path << "\n";
+    }
+  }
+  if (!attribution_ok) {
+    std::cerr << "phase attribution check FAILED\n";
+    return 1;
   }
   return 0;
 }

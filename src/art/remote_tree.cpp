@@ -86,6 +86,7 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
     start.parent_depth = 0;
     start.taken_slot = -1;
     start.taken_word = 0;
+    rdma::PhaseScope root_scope(endpoint_, rdma::Phase::kInnerRead);
     if (!fetch_inner(ref_.root, NodeType::kN256, &start.image)) {
       d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
@@ -93,6 +94,8 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
     }
   }
 
+  // Everything below is the inner-node walk; the leaf read re-tags itself.
+  rdma::PhaseScope descend_scope(endpoint_, rdma::Phase::kInnerRead);
   for (uint32_t level = 0; level < kMaxKeyLen; ++level) {
     PathEntry& cur = d.path.back();
     endpoint_.advance_local(
@@ -129,6 +132,7 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
 
     if (slot_is_leaf(slot_word)) {
       d.leaf_addr = slot_addr(slot_word);
+      rdma::PhaseScope leaf_scope(endpoint_, rdma::Phase::kLeafRead);
       if (!read_leaf(d.leaf_addr, slot_leaf_units(slot_word), &d.leaf)) {
         invalidate_inner(d.path.back().addr, d.path.back().image);
         d.status = DescendStatus::kNeedRetry;
@@ -328,8 +332,13 @@ bool RemoteTree::lock_node(const TerminatedKey& key, rdma::GlobalAddr addr,
   }
   const uint64_t locked = lease_inner_locked(seen_header);
   uint64_t observed = 0;
-  if (!endpoint_.cas(addr, seen_header, locked, &observed,
-                     rdma::FaultSite::kLockAcquire)) {
+  bool won;
+  {
+    rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+    won = endpoint_.cas(addr, seen_header, locked, &observed,
+                        rdma::FaultSite::kLockAcquire);
+  }
+  if (!won) {
     stats_.lock_fail_retries++;
     if (header_busy(observed)) note_busy_inner(key, addr, observed);
     invalidate_inner(addr);
@@ -337,6 +346,7 @@ bool RemoteTree::lock_node(const TerminatedKey& key, rdma::GlobalAddr addr,
   }
   *locked_out = locked;
   if (fresh != nullptr) {
+    rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
     RemoteTree::fetch_inner(addr, header_type(seen_header), fresh);
   }
   return true;
@@ -346,6 +356,7 @@ void RemoteTree::unlock_node(rdma::GlobalAddr addr, uint64_t locked_header,
                              uint64_t idle_header) {
   // May lose only to a reclaimer that decided our lease expired; its
   // restore supersedes ours, so a failed release needs no handling.
+  rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
   endpoint_.cas(addr, locked_header, idle_header, nullptr,
                 rdma::FaultSite::kLockRelease);
 }
@@ -366,7 +377,10 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
   const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
-  pre.execute();
+  {
+    rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+    pre.execute();
+  }
   if (!pre.cas_ok(lock_idx)) {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
                     mem::AllocTag::kLeaf);
@@ -379,7 +393,10 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
 
   // Re-read under the lock: the image from the descent may be stale.
   InnerImage fresh;
-  RemoteTree::fetch_inner(node.addr, header_type(seen), &fresh);
+  {
+    rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+    RemoteTree::fetch_inner(node.addr, header_type(seen), &fresh);
+  }
   bool ok = false;
   const int existing = fresh.find_pkey(branch);
   const int free_idx = fresh.find_free(branch);
@@ -392,7 +409,10 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
         0, slot_word, rdma::FaultSite::kSlotInstall);
     // Piggybacked lock release.
     batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
-    batch.execute();
+    {
+      rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
+      batch.execute();
+    }
     ok = batch.cas_ok(slot_idx);
     if (ok) {
       fresh.set_slot(static_cast<uint32_t>(free_idx), slot_word);
@@ -461,7 +481,10 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(parent.addr, seen, locked, rdma::FaultSite::kLockAcquire);
-  pre.execute();
+  {
+    rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+    pre.execute();
+  }
 
   auto release_allocs = [&] {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
@@ -479,7 +502,10 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   }
 
   InnerImage fresh;
-  RemoteTree::fetch_inner(parent.addr, header_type(seen), &fresh);
+  {
+    rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+    RemoteTree::fetch_inner(parent.addr, header_type(seen), &fresh);
+  }
   const uint8_t parent_branch = key.byte(parent.image.depth());
   const int idx = fresh.find_pkey(parent_branch);
   if (idx < 0 || fresh.slot(static_cast<uint32_t>(idx)) != child_word) {
@@ -495,7 +521,10 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
       child_word, m_slot, rdma::FaultSite::kSlotInstall);
   batch.add_cas(parent.addr, locked, seen, rdma::FaultSite::kLockRelease);
-  batch.execute();
+  {
+    rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
+    batch.execute();
+  }
   if (!batch.cas_ok(cas_idx)) {
     release_allocs();
     return false;
@@ -525,7 +554,10 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
   const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
-  pre.execute();
+  {
+    rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+    pre.execute();
+  }
   if (!pre.cas_ok(lock_idx)) {
     allocator_.free(leaf.addr, leaf.units * kLeafUnitBytes,
                     mem::AllocTag::kLeaf);
@@ -536,7 +568,10 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
   }
 
   InnerImage fresh;
-  RemoteTree::fetch_inner(node.addr, header_type(seen), &fresh);
+  {
+    rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+    RemoteTree::fetch_inner(node.addr, header_type(seen), &fresh);
+  }
   const int idx = fresh.find_pkey(branch);
   bool ok = false;
   if (idx >= 0 &&
@@ -547,7 +582,10 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
         node.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
         node.taken_word, slot_word, rdma::FaultSite::kSlotInstall);
     batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
-    batch.execute();
+    {
+      rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
+      batch.execute();
+    }
     ok = batch.cas_ok(cas_idx);
     if (ok) {
       fresh.set_slot(static_cast<uint32_t>(idx), slot_word);
@@ -611,7 +649,10 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
                 rdma::FaultSite::kPayloadWrite);
   const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
                                       rdma::FaultSite::kLockAcquire);
-  pre.execute();
+  {
+    rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kInnerWrite);
+    pre.execute();
+  }
   if (!pre.cas_ok(lock_idx)) {
     unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
@@ -623,7 +664,10 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   }
 
   InnerImage fresh_p;
-  RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh_p);
+  {
+    rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+    RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh_p);
+  }
   const uint8_t parent_branch = key.byte(parent.image.depth());
   const int idx = fresh_p.find_pkey(parent_branch);
   if (idx < 0 ||
@@ -641,7 +685,10 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
       parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
       parent.taken_word, new_slot, rdma::FaultSite::kSlotInstall);
   batch.add_cas(parent.addr, locked_p, seen_p, rdma::FaultSite::kLockRelease);
-  batch.execute();
+  {
+    rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
+    batch.execute();
+  }
   if (!batch.cas_ok(cas_idx)) {
     unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
@@ -653,8 +700,11 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   // it); only the accounting is released. A crash before this write leaves
   // the old node Locked *and* detached -- the reclaimer's reachability
   // probe restores it to Invalid, never Idle.
-  endpoint_.write64(node.addr, with_status(seen_n, NodeStatus::kInvalid),
-                    rdma::FaultSite::kLockRelease);
+  {
+    rdma::PhaseScope retire_scope(endpoint_, rdma::Phase::kInnerWrite);
+    endpoint_.write64(node.addr, with_status(seen_n, NodeStatus::kInvalid),
+                      rdma::FaultSite::kLockRelease);
+  }
   cluster_.alloc_stats().sub(mem::AllocTag::kInnerNode,
                              inner_alloc_bytes(fresh_n.type()),
                              inner_alloc_bytes(fresh_n.type()));
@@ -671,6 +721,7 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
 
 bool RemoteTree::recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
                                   std::string* key_out) {
+  rdma::PhaseScope walk_scope(endpoint_, rdma::Phase::kInnerRead);
   InnerImage node;
   for (uint32_t level = 0; level < kMaxKeyLen; ++level) {
     if (!fetch_inner(addr, type, &node)) return false;
@@ -688,6 +739,7 @@ bool RemoteTree::recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
     if (chosen == 0) return false;
     if (slot_is_leaf(chosen)) {
       LeafImage leaf;
+      rdma::PhaseScope leaf_scope(endpoint_, rdma::Phase::kLeafRead);
       if (!read_leaf(slot_addr(chosen), slot_leaf_units(chosen), &leaf)) {
         return false;
       }
@@ -729,8 +781,13 @@ bool RemoteTree::update(Slice key, Slice value) {
           // Idle status and the fresh checksum (combined release+write).
           const uint64_t locked = lease_leaf_locked(seen);
           uint64_t observed = 0;
-          if (!endpoint_.cas(d.leaf_addr, seen, locked, &observed,
-                             rdma::FaultSite::kLockAcquire)) {
+          bool won;
+          {
+            rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+            won = endpoint_.cas(d.leaf_addr, seen, locked, &observed,
+                                rdma::FaultSite::kLockAcquire);
+          }
+          if (!won) {
             stats_.lock_fail_retries++;
             if (header_busy(observed)) {
               note_busy_leaf(tkey, d.leaf_addr, observed);
@@ -752,15 +809,23 @@ bool RemoteTree::update(Slice key, Slice value) {
                             rdma::FaultSite::kPayloadWrite);
           publish.add_write(d.leaf_addr, img.buf().data(), 8,
                             rdma::FaultSite::kLockRelease);
-          publish.execute();
+          {
+            rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+            publish.execute();
+          }
           return true;
         }
         // Out-of-place: lock the old leaf (blocks in-place updaters), then
         // swap the parent slot to a bigger leaf.
         const uint64_t locked = lease_leaf_locked(seen);
         uint64_t observed = 0;
-        if (!endpoint_.cas(d.leaf_addr, seen, locked, &observed,
-                           rdma::FaultSite::kLockAcquire)) {
+        bool won;
+        {
+          rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+          won = endpoint_.cas(d.leaf_addr, seen, locked, &observed,
+                              rdma::FaultSite::kLockAcquire);
+        }
+        if (!won) {
           stats_.lock_fail_retries++;
           if (header_busy(observed)) {
             note_busy_leaf(tkey, d.leaf_addr, observed);
@@ -776,10 +841,17 @@ bool RemoteTree::update(Slice key, Slice value) {
           const uint64_t locked_p = lease_inner_locked(seen_p);
           const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
                                       rdma::FaultSite::kLockAcquire);
-          pre.execute();
+          {
+            rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+            pre.execute();
+          }
           if (pre.cas_ok(lock_idx)) {
             InnerImage fresh;
-            RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh);
+            {
+              rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+              RemoteTree::fetch_inner(parent.addr, header_type(seen_p),
+                                      &fresh);
+            }
             const uint8_t branch = tkey.byte(parent.image.depth());
             const int idx = fresh.find_pkey(branch);
             if (idx >= 0 &&
@@ -794,7 +866,11 @@ bool RemoteTree::update(Slice key, Slice value) {
                   rdma::FaultSite::kSlotInstall);
               batch.add_cas(parent.addr, locked_p, seen_p,
                             rdma::FaultSite::kLockRelease);
-              batch.execute();
+              {
+                rdma::PhaseScope install_scope(endpoint_,
+                                               rdma::Phase::kInnerWrite);
+                batch.execute();
+              }
               done = batch.cas_ok(cas_idx);
               if (done) {
                 fresh.set_slot(static_cast<uint32_t>(idx), new_slot);
@@ -820,9 +896,12 @@ bool RemoteTree::update(Slice key, Slice value) {
           // Old leaf: Locked -> Invalid; storage retired (not reused). A
           // crash before this write leaves the old leaf locked *and*
           // detached; the reclaimer's reachability probe restores Invalid.
-          endpoint_.write64(d.leaf_addr,
-                            with_status(seen, NodeStatus::kInvalid),
-                            rdma::FaultSite::kLockRelease);
+          {
+            rdma::PhaseScope retire_scope(endpoint_, rdma::Phase::kLeafWrite);
+            endpoint_.write64(d.leaf_addr,
+                              with_status(seen, NodeStatus::kInvalid),
+                              rdma::FaultSite::kLockRelease);
+          }
           cluster_.alloc_stats().sub(
               mem::AllocTag::kLeaf,
               static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes,
@@ -830,8 +909,11 @@ bool RemoteTree::update(Slice key, Slice value) {
           return true;
         }
         // Release the leaf lock and retry.
-        endpoint_.cas(d.leaf_addr, locked, seen, nullptr,
-                      rdma::FaultSite::kLockRelease);
+        {
+          rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+          endpoint_.cas(d.leaf_addr, locked, seen, nullptr,
+                        rdma::FaultSite::kLockRelease);
+        }
         stats_.op_retries++;
         continue;
       }
@@ -883,9 +965,14 @@ bool RemoteTree::remove(Slice key) {
         }
         // Idle -> Invalid is the linearization point (Sec. IV, Delete).
         uint64_t observed = 0;
-        if (!endpoint_.cas(d.leaf_addr, seen,
-                           with_status(seen, NodeStatus::kInvalid), &observed,
-                           rdma::FaultSite::kLockAcquire)) {
+        bool won;
+        {
+          rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
+          won = endpoint_.cas(d.leaf_addr, seen,
+                              with_status(seen, NodeStatus::kInvalid),
+                              &observed, rdma::FaultSite::kLockAcquire);
+        }
+        if (!won) {
           if (header_busy(observed)) {
             note_busy_leaf(tkey, d.leaf_addr, observed);
           }
@@ -899,7 +986,10 @@ bool RemoteTree::remove(Slice key) {
         uint64_t locked_p = 0;
         if (lock_node(tkey, parent.addr, seen_p, nullptr, &locked_p)) {
           InnerImage fresh;
-          RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh);
+          {
+            rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+            RemoteTree::fetch_inner(parent.addr, header_type(seen_p), &fresh);
+          }
           const uint8_t branch = tkey.byte(parent.image.depth());
           const int idx = fresh.find_pkey(branch);
           if (idx >= 0 &&
@@ -911,7 +1001,11 @@ bool RemoteTree::remove(Slice key) {
                           parent.taken_word, 0);
             batch.add_cas(parent.addr, locked_p, seen_p,
                           rdma::FaultSite::kLockRelease);
-            batch.execute();
+            {
+              rdma::PhaseScope install_scope(endpoint_,
+                                             rdma::Phase::kInnerWrite);
+              batch.execute();
+            }
             fresh.set_slot(static_cast<uint32_t>(idx), 0);
             fresh.set_header(seen_p);
             note_inner_write(parent.addr, fresh);
@@ -971,6 +1065,7 @@ bool RemoteTree::note_busy_leaf(const TerminatedKey& key,
 
 int RemoteTree::probe_attached(const TerminatedKey& key,
                                rdma::GlobalAddr target) {
+  rdma::PhaseScope recovery_scope(endpoint_, rdma::Phase::kRecovery);
   if (target.to48() == ref_.root.to48()) return 1;
   rdma::GlobalAddr addr = ref_.root;
   NodeType type = NodeType::kN256;
@@ -998,6 +1093,7 @@ int RemoteTree::probe_attached(const TerminatedKey& key,
 
 bool RemoteTree::reclaim_inner(const TerminatedKey& key, rdma::GlobalAddr addr,
                                uint64_t expired_word) {
+  rdma::PhaseScope recovery_scope(endpoint_, rdma::Phase::kRecovery);
   stats_.recovery.lease_expiries_observed++;
   // Take over: the CAS expecting the exact watched word both wins the race
   // against other waiters and re-confirms the word never moved.
@@ -1032,6 +1128,7 @@ bool RemoteTree::reclaim_inner(const TerminatedKey& key, rdma::GlobalAddr addr,
 
 bool RemoteTree::reclaim_leaf(const TerminatedKey& key, rdma::GlobalAddr addr,
                               uint64_t expired_word) {
+  rdma::PhaseScope recovery_scope(endpoint_, rdma::Phase::kRecovery);
   stats_.recovery.lease_expiries_observed++;
   const uint64_t reclaiming =
       pack_leaf_lease(expired_word, NodeStatus::kReclaiming, lease_owner(),
@@ -1259,6 +1356,7 @@ RemoteTree::ScanRecover RemoteTree::recover_scan_item(
   uint64_t parent_header = 0;
   uint64_t live_slot = 0;
   {
+    rdma::PhaseScope scan_scope(endpoint_, rdma::Phase::kScanFrontier);
     rdma::DoorbellBatch batch(endpoint_);
     batch.add_read(item.parent_addr, &parent_header, sizeof(parent_header));
     batch.add_read(
@@ -1399,6 +1497,7 @@ void RemoteTree::run_scan(
       if (config_.cache_scan_root && scan_root_valid_) {
         fused_root_pending = true;
       } else {
+        rdma::PhaseScope scan_scope(endpoint_, rdma::Phase::kScanFrontier);
         if (!fetch_inner(ref_.root, NodeType::kN256, &scan_entry_.image)) {
           if (!policy.backoff(++attempt)) {
             mark_truncated();
@@ -1421,6 +1520,7 @@ void RemoteTree::run_scan(
         // The cached image says the window is empty; confirm with a fresh
         // read before believing it (a new first-byte subtree may exist).
         fused_root_pending = false;
+        rdma::PhaseScope scan_scope(endpoint_, rdma::Phase::kScanFrontier);
         if (fetch_inner(ref_.root, NodeType::kN256, &scan_root_cache_)) {
           expand_into_frontier(ref_.root, scan_root_cache_, bound, high, true,
                                high != nullptr, 0,
@@ -1499,7 +1599,10 @@ void RemoteTree::run_scan(
           batch.add_read(ref_.root, scan_root_fresh_.raw(),
                          inner_node_bytes(NodeType::kN256));
         }
-        batch.execute();
+        {
+          rdma::PhaseScope scan_scope(endpoint_, rdma::Phase::kScanFrontier);
+          batch.execute();
+        }
         stats_.scan.frontier_batches++;
         stats_.scan.frontier_nodes += selected;
         if (fused_root_pending) {

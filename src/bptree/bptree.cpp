@@ -235,6 +235,8 @@ static bool read_node_checked(rdma::Endpoint& ep, rdma::GlobalAddr addr,
 bool BpTreeIndex::descend(uint64_t key, std::vector<PathEntry>* path,
                           bool use_cache) {
   path->clear();
+  // Inner-node traversal by default; the leaf branch below re-tags.
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInnerRead);
   for (int attempt = 0; attempt < 64; ++attempt) {
     retry_backoff(static_cast<uint32_t>(attempt));
     path->clear();
@@ -249,6 +251,7 @@ bool BpTreeIndex::descend(uint64_t key, std::vector<PathEntry>* path,
     bool anomaly = false;
     for (uint32_t hop = 0; hop < 32; ++hop) {
       if (is_leaf) {
+        rdma::PhaseScope leaf_scope(endpoint_, rdma::Phase::kLeafRead);
         if (!read_node_checked(endpoint_, cur.addr, &cur.image, &stats_)) {
           anomaly = true;
           break;
@@ -365,8 +368,13 @@ bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
       continue;
     }
     // Lock the leaf: CAS on the header word.
-    if (!endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
-                       rdma::FaultSite::kLockAcquire)) {
+    bool locked;
+    {
+      rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+      locked = endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
+                             rdma::FaultSite::kLockAcquire);
+    }
+    if (!locked) {
       stats_.lock_fail_retries++;
       continue;
     }
@@ -374,10 +382,16 @@ bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
     // header word first; wait for its tail version before trusting the
     // image (the lock keeps any *new* writer out meanwhile).
     NodeImage fresh;
-    read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    {
+      rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kLeafRead);
+      read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    }
     if (!fresh.covers(key)) {
       // Split raced between descent and lock: release and retry.
-      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
+        endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      }
       stats_.op_retries++;
       continue;
     }
@@ -387,18 +401,27 @@ bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
     *existed = found;
 
     if (found && mode == WriteMode::kInsert) {
-      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
+        endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      }
       return true;  // *existed tells the caller
     }
     if (!found && mode == WriteMode::kUpdateOnly) {
-      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
+        endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      }
       return true;
     }
 
     if (found) {
       fresh.set_entry(idx, key, value);
       fresh.set_meta(true, 0, fresh.count(), fresh.version() + 1);
-      publish_node(endpoint_, leaf_entry.addr, fresh);
+      {
+        rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kLeafWrite);
+        publish_node(endpoint_, leaf_entry.addr, fresh);
+      }
       return true;
     }
 
@@ -408,7 +431,10 @@ bool BpTreeIndex::write_key(uint64_t key, Slice value, WriteMode mode,
       }
       fresh.set_entry(idx, key, value);
       fresh.set_meta(true, 0, fresh.count() + 1, fresh.version() + 1);
-      publish_node(endpoint_, leaf_entry.addr, fresh);
+      {
+        rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kLeafWrite);
+        publish_node(endpoint_, leaf_entry.addr, fresh);
+      }
       return true;
     }
 
@@ -451,6 +477,7 @@ bool BpTreeIndex::split_leaf(std::vector<PathEntry>& path, uint64_t key) {
   // One round trip: publish the sibling, then the shrunk (and unlocked)
   // left leaf.
   {
+    rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kLeafWrite);
     rdma::DoorbellBatch batch(endpoint_);
     batch.add_write(right_addr, right.w, kNodeBytes);  // unreachable yet
     batch.add_write(leaf_entry.addr.plus(8), &left.w[1], kNodeBytes - 8);
@@ -470,7 +497,11 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
   for (uint32_t attempt = 0; attempt < 4096; ++attempt) {
     retry_backoff(std::min(attempt, 64u));
 
-    const uint64_t root_word = endpoint_.read64(ref_.root_ptr);
+    uint64_t root_word;
+    {
+      rdma::PhaseScope root_scope(endpoint_, rdma::Phase::kInnerRead);
+      root_word = endpoint_.read64(ref_.root_ptr);
+    }
     const bool root_is_leaf = child_is_leaf(root_word);
     const uint8_t root_level =
         root_is_leaf ? 0 : static_cast<uint8_t>((root_word >> 48) & 0xff);
@@ -492,10 +523,15 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
       const uint32_t mn = cluster_.ring().mn_for(separator ^ 0xb7e15163ULL);
       rdma::GlobalAddr root_addr =
           allocator_.alloc(mn, kNodeBytes, mem::AllocTag::kInnerNode);
-      endpoint_.write(root_addr, root.w, kNodeBytes);
-      if (endpoint_.cas(ref_.root_ptr, root_word,
-                        pack_root(root_addr, false, parent_level), nullptr,
-                        rdma::FaultSite::kSlotInstall)) {
+      bool installed;
+      {
+        rdma::PhaseScope grow_scope(endpoint_, rdma::Phase::kInnerWrite);
+        endpoint_.write(root_addr, root.w, kNodeBytes);
+        installed = endpoint_.cas(ref_.root_ptr, root_word,
+                                  pack_root(root_addr, false, parent_level),
+                                  nullptr, rdma::FaultSite::kSlotInstall);
+      }
+      if (installed) {
         root_word_cache_ = pack_root(root_addr, false, parent_level);
         stats_.root_splits++;
         return true;
@@ -511,6 +547,7 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
     // is exactly what we are installing.)
     PathEntry parent_entry;
     {
+      rdma::PhaseScope walk_scope(endpoint_, rdma::Phase::kInnerRead);
       if (root_is_leaf) continue;  // height changing underneath us
       bool found = false;
       bool ok = true;
@@ -545,21 +582,30 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
     }
 
     const uint64_t seen = parent->image.header();
-    if (hdr_locked(seen) ||
-        !endpoint_.cas(parent->addr, seen, seen | kLockBit, nullptr,
-                       rdma::FaultSite::kLockAcquire)) {
+    bool locked = false;
+    if (!hdr_locked(seen)) {
+      rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+      locked = endpoint_.cas(parent->addr, seen, seen | kLockBit, nullptr,
+                             rdma::FaultSite::kLockAcquire);
+    }
+    if (!locked) {
       stats_.lock_fail_retries++;
       continue;
     }
     NodeImage fresh;
-    read_node_locked(endpoint_, parent->addr, &fresh, &stats_);
+    {
+      rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kInnerRead);
+      read_node_locked(endpoint_, parent->addr, &fresh, &stats_);
+    }
     if (!fresh.covers(separator) || fresh.level() != parent_level) {
+      rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
       endpoint_.write64(parent->addr, fresh.header() & ~kLockBit);
       continue;  // the parent split away between descent and lock
     }
     {
       const uint32_t i = fresh.route(separator);
       if (i > 0 && fresh.ikey(i - 1) == separator) {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
         endpoint_.write64(parent->addr, fresh.header() & ~kLockBit);
         return true;
       }
@@ -575,7 +621,10 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
       fresh.set_child(idx + 1, pack_child(right, right_is_leaf));
       fresh.set_meta(false, fresh.level(), fresh.count() + 1,
                      fresh.version() + 1);
-      publish_node(endpoint_, parent->addr, fresh);
+      {
+        rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kInnerWrite);
+        publish_node(endpoint_, parent->addr, fresh);
+      }
       if (cache_internal_) {
         cache_[parent->addr.raw()].assign(fresh.w, fresh.w + kWords);
       }
@@ -616,6 +665,7 @@ bool BpTreeIndex::insert_into_parent(uint64_t separator,
                      target->version());
 
     {
+      rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kInnerWrite);
       rdma::DoorbellBatch batch(endpoint_);
       batch.add_write(rnode_addr, rnode.w, kNodeBytes);
       batch.add_write(parent->addr.plus(8), &fresh.w[1], kNodeBytes - 8);
@@ -643,28 +693,44 @@ bool BpTreeIndex::remove(Slice key) {
     if (!descend(k, &path, attempt < 8)) break;
     PathEntry& leaf_entry = path.back();
     const uint64_t seen = leaf_entry.image.header();
-    if (hdr_locked(seen) ||
-        !endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
-                       rdma::FaultSite::kLockAcquire)) {
+    bool locked = false;
+    if (!hdr_locked(seen)) {
+      rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+      locked = endpoint_.cas(leaf_entry.addr, seen, seen | kLockBit, nullptr,
+                             rdma::FaultSite::kLockAcquire);
+    }
+    if (!locked) {
       stats_.lock_fail_retries++;
       continue;
     }
     NodeImage fresh;
-    read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    {
+      rdma::PhaseScope read_scope(endpoint_, rdma::Phase::kLeafRead);
+      read_node_locked(endpoint_, leaf_entry.addr, &fresh, &stats_);
+    }
     if (!fresh.covers(k)) {
-      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
+        endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      }
       continue;
     }
     const uint32_t idx = fresh.lower_bound(k);
     if (idx >= fresh.count() || fresh.lkey(idx) != k) {
-      endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      {
+        rdma::PhaseScope unlock_scope(endpoint_, rdma::Phase::kLock);
+        endpoint_.write64(leaf_entry.addr, fresh.header() & ~kLockBit);
+      }
       return false;
     }
     for (uint32_t i = idx + 1; i < fresh.count(); ++i) {
       fresh.copy_entry_from(fresh, i, i - 1);
     }
     fresh.set_meta(true, 0, fresh.count() - 1, fresh.version() + 1);
-    publish_node(endpoint_, leaf_entry.addr, fresh);
+    {
+      rdma::PhaseScope pub_scope(endpoint_, rdma::Phase::kLeafWrite);
+      publish_node(endpoint_, leaf_entry.addr, fresh);
+    }
     return true;
   }
   stats_.ops_failed++;
@@ -704,6 +770,7 @@ size_t BpTreeIndex::scan_range(
     }
     const rdma::GlobalAddr next = leaf.next_leaf();
     if (next.is_null() || leaf.hi() > hi) return out->size();
+    rdma::PhaseScope scan_scope(endpoint_, rdma::Phase::kScanFrontier);
     if (!read_node_checked(endpoint_, next, &leaf, &stats_)) {
       return out->size();
     }

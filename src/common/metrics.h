@@ -1,0 +1,115 @@
+// A tiny metrics registry: each stats struct declares one constexpr table of
+// named uint64_t members, and merge/diff/all-zero/JSON serialization are
+// derived from that single table instead of being hand-rolled per struct.
+// Adding a counter is a one-line change (declare the member, list it in the
+// table) and every consumer -- operator+=, bench JSON, tests -- picks it up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sphinx::metrics {
+
+// Named pointer-to-member for one uint64_t counter of stats struct S.
+template <typename S>
+struct Field {
+  const char* name;
+  uint64_t S::*ptr;
+};
+
+template <typename S, size_t N>
+void add(S& dst, const S& src, const Field<S> (&fields)[N]) {
+  for (const Field<S>& f : fields) dst.*(f.ptr) += src.*(f.ptr);
+}
+
+template <typename S, size_t N>
+void sub(S& dst, const S& src, const Field<S> (&fields)[N]) {
+  for (const Field<S>& f : fields) dst.*(f.ptr) -= src.*(f.ptr);
+}
+
+template <typename S, size_t N>
+bool all_zero(const S& s, const Field<S> (&fields)[N]) {
+  for (const Field<S>& f : fields) {
+    if (s.*(f.ptr) != 0) return false;
+  }
+  return true;
+}
+
+// Element-wise merge helpers for dynamically sized per-MN counter vectors
+// (see rdma::EndpointStats); the destination grows to cover the source.
+inline void add_vec(std::vector<uint64_t>& dst,
+                    const std::vector<uint64_t>& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+}
+
+inline void sub_vec(std::vector<uint64_t>& dst,
+                    const std::vector<uint64_t>& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (size_t i = 0; i < src.size(); ++i) dst[i] -= src[i];
+}
+
+// Streaming writer for one JSON object; tracks comma placement so callers
+// can interleave registry-driven fields with hand-picked ones. Keys are
+// assumed to be plain identifiers; string *values* are escaped.
+class JsonObjectWriter {
+ public:
+  explicit JsonObjectWriter(std::ostream& out) : out_(out) { out_ << "{"; }
+
+  void field(const char* key, uint64_t v) {
+    sep();
+    out_ << "\"" << key << "\": " << v;
+  }
+
+  void field(const char* key, double v) {
+    sep();
+    out_ << "\"" << key << "\": " << v;
+  }
+
+  void field(const char* key, const std::string& v) {
+    sep();
+    out_ << "\"" << key << "\": \"" << escape(v) << "\"";
+  }
+
+  // Emits `"key": <raw>` with no quoting -- for nested objects/arrays the
+  // caller already serialized.
+  void raw_field(const char* key, const std::string& raw) {
+    sep();
+    out_ << "\"" << key << "\": " << raw;
+  }
+
+  void close() { out_ << "}"; }
+
+  static std::string escape(const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      r.push_back(c);
+    }
+    return r;
+  }
+
+ private:
+  void sep() {
+    if (!first_) out_ << ", ";
+    first_ = false;
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+// Emits every registered counter of `s` as `"<prefix><name>": value`.
+template <typename S, size_t N>
+void write_fields(JsonObjectWriter& w, const S& s, const Field<S> (&fields)[N],
+                  const char* prefix = "") {
+  for (const Field<S>& f : fields) {
+    w.field((std::string(prefix) + f.name).c_str(), s.*(f.ptr));
+  }
+}
+
+}  // namespace sphinx::metrics

@@ -48,7 +48,12 @@ bool SphinxIndex::adopt_candidate(uint32_t len, uint64_t hash,
     const art::NodeType type = inht_payload_type(payload);
     const rdma::GlobalAddr addr = inht_payload_addr(payload);
     // One round trip: fetch the candidate node and verify it.
-    if (!RemoteTree::fetch_inner(addr, type, &out->image)) continue;
+    bool fetched;
+    {
+      rdma::PhaseScope adopt_scope(endpoint_, rdma::Phase::kInnerRead);
+      fetched = RemoteTree::fetch_inner(addr, type, &out->image);
+    }
+    if (!fetched) continue;
     if (!validate_start(len, hash, type, addr, out)) continue;
     // Cache the verified entry so the next search for this prefix skips
     // the INHT read (the 2-RTT path).
@@ -71,8 +76,12 @@ bool SphinxIndex::try_start_at(uint32_t len, uint64_t hash, bool inht_on_miss,
       const rdma::GlobalAddr addr = inht_payload_addr(payload);
       if (hot || !config_.pec_speculative_fusion) {
         // High confidence: one speculative node read (the 2-RTT search).
-        if (RemoteTree::fetch_inner(addr, type, &out->image) &&
-            validate_start(len, hash, type, addr, out)) {
+        bool fetched;
+        {
+          rdma::PhaseScope pec_scope(endpoint_, rdma::Phase::kPecValidate);
+          fetched = RemoteTree::fetch_inner(addr, type, &out->image);
+        }
+        if (fetched && validate_start(len, hash, type, addr, out)) {
           return true;
         }
         sstats_.pec_stale++;
@@ -88,7 +97,13 @@ bool SphinxIndex::try_start_at(uint32_t len, uint64_t hash, bool inht_on_miss,
         batch.add_read(addr, out->image.raw(), art::inner_node_bytes(type));
         batch.add_read(probe.group_addr, fused_group_.data(),
                        race::kGroupBytes);
-        batch.execute();
+        {
+          // The fused speculative read is PEC-driven even though it piggy-
+          // backs an INHT group read; the whole doorbell is one round trip
+          // and phases attribute per round trip, not per verb.
+          rdma::PhaseScope pec_scope(endpoint_, rdma::Phase::kPecValidate);
+          batch.execute();
+        }
         if (validate_start(len, hash, type, addr, out)) {
           sstats_.speculative_wins++;
           return true;
@@ -151,6 +166,7 @@ bool SphinxIndex::start_search(const art::TerminatedKey& key,
   sstats_.parallel_fallbacks++;
   group_scratch_.resize(max_len + 1);
   {
+    rdma::PhaseScope inht_scope(endpoint_, rdma::Phase::kInhtRead);
     rdma::DoorbellBatch batch(endpoint_);
     for (uint32_t l = 1; l <= max_len; ++l) {
       const race::RaceClient::Probe probe = inht_.plan_probe(hash_scratch_[l]);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "art/remote_tree.h"
+#include "common/metrics.h"
 #include "core/inht.h"
 #include "filter/cuckoo_filter.h"
 #include "filter/prefix_entry_cache.h"
@@ -74,7 +75,32 @@ struct SphinxStats {
   uint64_t speculative_losses = 0; // fused read stale; group rescued the op
   uint64_t scan_start_successes = 0;  // scans entered below the root
   uint64_t scan_root_fallbacks = 0;   // scan entry search failed -> root
+
+  SphinxStats& operator+=(const SphinxStats& o);
 };
+
+// Field registry: merge and JSON emission iterate this table instead of
+// hand-rolling per-counter code (see common/metrics.h).
+inline constexpr metrics::Field<SphinxStats> kSphinxStatsFields[] = {
+    {"filter_hits", &SphinxStats::filter_hits},
+    {"fp_rejects", &SphinxStats::fp_rejects},
+    {"start_successes", &SphinxStats::start_successes},
+    {"parallel_fallbacks", &SphinxStats::parallel_fallbacks},
+    {"root_fallbacks", &SphinxStats::root_fallbacks},
+    {"inht_update_misses", &SphinxStats::inht_update_misses},
+    {"inht_insert_fails", &SphinxStats::inht_insert_fails},
+    {"pec_hits", &SphinxStats::pec_hits},
+    {"pec_stale", &SphinxStats::pec_stale},
+    {"speculative_wins", &SphinxStats::speculative_wins},
+    {"speculative_losses", &SphinxStats::speculative_losses},
+    {"scan_start_successes", &SphinxStats::scan_start_successes},
+    {"scan_root_fallbacks", &SphinxStats::scan_root_fallbacks},
+};
+
+inline SphinxStats& SphinxStats::operator+=(const SphinxStats& o) {
+  metrics::add(*this, o, kSphinxStatsFields);
+  return *this;
+}
 
 class SphinxIndex final : public art::RemoteTree {
  public:

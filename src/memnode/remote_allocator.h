@@ -92,6 +92,7 @@ class RemoteAllocator {
     const uint64_t lease = min_bytes > chunk_bytes_ ? pad(min_bytes)
                                                     : chunk_bytes_;
     // One-sided chunk lease: FAA on the MN's bump pointer.
+    rdma::PhaseScope alloc_scope(endpoint_, rdma::Phase::kAlloc);
     const uint64_t start = endpoint_.faa(
         rdma::GlobalAddr(mn, kBumpPointerOffset), lease);
     if (start + lease > cluster_.fabric().region(mn).size()) {

@@ -92,6 +92,7 @@ RaceClient::RaceClient(mem::Cluster& cluster, rdma::Endpoint& endpoint,
       rehasher_(std::move(rehasher)) {}
 
 void RaceClient::refresh_directory() {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtRead);
   const uint64_t desc = endpoint_.read64(table_.descriptor);
   global_depth_ = desc_gd(desc);
   const uint64_t n = 1ULL << global_depth_;
@@ -120,6 +121,7 @@ void RaceClient::match_group(uint64_t hash,
 }
 
 void RaceClient::search(uint64_t hash, std::vector<uint64_t>& payloads_out) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtRead);
   stats_.searches++;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (dir_cache_.empty()) refresh_directory();
@@ -142,6 +144,7 @@ void RaceClient::search(uint64_t hash, std::vector<uint64_t>& payloads_out) {
 }
 
 bool RaceClient::insert(uint64_t hash, uint64_t payload) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   stats_.inserts++;
   const uint64_t entry = make_entry(hash, payload);
 
@@ -224,6 +227,7 @@ bool RaceClient::insert(uint64_t hash, uint64_t payload) {
 
 bool RaceClient::update(uint64_t hash, uint64_t old_payload,
                         uint64_t new_payload) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   const uint64_t old_entry = make_entry(hash, old_payload);
   const uint64_t new_entry = make_entry(hash, new_payload);
   rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
@@ -285,6 +289,7 @@ bool RaceClient::update(uint64_t hash, uint64_t old_payload,
 }
 
 bool RaceClient::erase(uint64_t hash, uint64_t payload) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   const uint64_t entry = make_entry(hash, payload);
   rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
   for (uint32_t attempt = 0; attempt < retry_cfg_.max_attempts; ++attempt) {
@@ -349,6 +354,7 @@ bool RaceClient::erase(uint64_t hash, uint64_t payload) {
 }
 
 bool RaceClient::split_segment(uint64_t hash) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   // Serialize splits (and directory doubling) behind the directory lock.
   // Splits are rare -- amortized once per kGroupsPerSegment*kSlotsPerGroup
   // inserts -- so coarse serialization costs little.
@@ -444,6 +450,7 @@ bool RaceClient::split_segment(uint64_t hash) {
 }
 
 bool RaceClient::lock_directory() {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kLock);
   rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
   const uint8_t owner = static_cast<uint8_t>(endpoint_.fault_client_id());
   for (uint32_t attempt = 0;; ++attempt) {
@@ -475,10 +482,12 @@ bool RaceClient::lock_directory() {
 }
 
 void RaceClient::unlock_directory() {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kLock);
   endpoint_.write64(table_.dir_lock, 0, rdma::FaultSite::kLockRelease);
 }
 
 void RaceClient::note_busy_segment(uint64_t seg_offset, uint64_t header) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kRecovery);
   if (!hdr_locked(header)) return;
   const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
   if (!seg_watch_.observe(endpoint_, header_addr, header)) return;
@@ -497,6 +506,7 @@ void RaceClient::note_busy_segment(uint64_t seg_offset, uint64_t header) {
 }
 
 void RaceClient::recover_segment(uint64_t seg_offset, uint64_t locked_header) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kRecovery);
   const rdma::GlobalAddr header_addr(table_.mn, seg_offset);
   const uint8_t ld = hdr_ld(locked_header);
   const uint16_t suffix = hdr_suffix(locked_header);
@@ -626,6 +636,7 @@ void RaceClient::recover_segment(uint64_t seg_offset, uint64_t locked_header) {
 
 bool RaceClient::stable_search(uint64_t hash,
                                std::vector<uint64_t>& payloads_out) {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtRead);
   rdma::RetryPolicy policy(endpoint_, retry_cfg_, &stats_.backoff);
   for (uint32_t attempt = 0;; ++attempt) {
     if (!policy.backoff(attempt)) {
@@ -659,6 +670,7 @@ bool RaceClient::stable_search(uint64_t hash,
 }
 
 void RaceClient::double_directory() {
+  rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   // Caller holds the directory lock.
   const uint64_t desc = endpoint_.read64(table_.descriptor);
   const uint8_t gd = desc_gd(desc);

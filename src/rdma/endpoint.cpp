@@ -133,8 +133,10 @@ void DoorbellBatch::execute() {
   if (!ep.metered_) return;
 
   // Statistics.
+  uint64_t batch_bytes = 0;
   for (const Op& op : ops_) {
     ep.stats_.messages++;
+    batch_bytes += op.len;
     switch (op.type) {
       case OpType::kRead:
         ep.stats_.reads++;
@@ -155,6 +157,11 @@ void DoorbellBatch::execute() {
     }
   }
   ep.stats_.round_trips++;
+  // One batch == one round trip, attributed whole to the endpoint's current
+  // phase (these are the only two bumps matching charge_single's pair, so
+  // per-phase sums equal round_trips / bytes_total exactly).
+  ep.stats_.rtts_by_phase[static_cast<size_t>(ep.phase_)]++;
+  ep.stats_.bytes_by_phase[static_cast<size_t>(ep.phase_)] += batch_bytes;
 
   // Unloaded latency: posting CPU + CN NIC processing for every message,
   // then the batch completes when the slowest MN has served its share of
@@ -174,10 +181,7 @@ void DoorbellBatch::execute() {
     const uint32_t mn = op.addr.mn();
     per_mn[mn].msgs++;
     per_mn[mn].bytes += op.len;
-    if (mn < kMaxMnsTracked) {
-      ep.stats_.msgs_per_mn[mn]++;
-      ep.stats_.bytes_per_mn[mn] += op.len;
-    }
+    ep.stats_.note_mn(mn, op.len);
     max_mn = std::max(max_mn, mn);
   }
   uint64_t slowest_service = 0;
@@ -189,7 +193,12 @@ void DoorbellBatch::execute() {
                               cfg.bytes_per_ns);
     slowest_service = std::max(slowest_service, service);
   }
+  const uint64_t start_ns = ep.clock_ns_;
   ep.clock_ns_ += issue_ns + slowest_service + cfg.base_rtt_ns;
+  if (ep.trace_ != nullptr) {
+    ep.trace_->record(phase_name(ep.phase_), start_ns,
+                      ep.clock_ns_ - start_ns, ep.trace_tid_);
+  }
 }
 
 void DoorbellBatch::apply_one(Op& op) {

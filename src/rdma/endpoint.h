@@ -21,7 +21,9 @@
 
 #include "rdma/fabric.h"
 #include "rdma/fault_injector.h"
+#include "rdma/phase.h"
 #include "rdma/stats.h"
+#include "rdma/trace.h"
 
 namespace sphinx::rdma {
 
@@ -90,6 +92,7 @@ class Endpoint {
   Endpoint(Fabric& fabric, uint32_t cn, bool metered = true)
       : fabric_(fabric), cn_(cn), metered_(metered), fault_client_id_(cn) {
     assert(cn < fabric.config().num_cns);
+    stats_.reserve_mns(fabric.config().num_mns);
   }
 
   // ---- one-sided verbs (each is one round trip) ---------------------------
@@ -166,6 +169,25 @@ class Endpoint {
 
   const EndpointStats& stats() const { return stats_; }
   EndpointStats& mutable_stats() { return stats_; }
+
+  // ---- RTT attribution & tracing ------------------------------------------
+
+  // The protocol phase charged for subsequent round trips; set via
+  // PhaseScope (innermost scope wins), restored on scope exit.
+  Phase phase() const { return phase_; }
+  void set_phase(Phase p) { phase_ = p; }
+
+  // Attaches (or detaches, with nullptr) a span recorder: every metered
+  // round trip then records a phase-named span on the virtual clock under
+  // thread id `tid`. Null-checked in the charge paths, so detached tracing
+  // costs nothing and leaves clocks/stats untouched.
+  void set_trace(TraceRecorder* recorder, uint32_t tid = 0) {
+    trace_ = recorder;
+    trace_tid_ = tid;
+  }
+  TraceRecorder* trace() const { return trace_; }
+
+
   Fabric& fabric() { return fabric_; }
   uint32_t cn() const { return cn_; }
   bool metered() const { return metered_; }
@@ -216,19 +238,23 @@ class Endpoint {
     const NetworkConfig& cfg = fabric_.config();
     stats_.messages++;
     stats_.round_trips++;
+    stats_.rtts_by_phase[static_cast<size_t>(phase_)]++;
+    stats_.bytes_by_phase[static_cast<size_t>(phase_)] += payload;
     if (is_read) {
       stats_.bytes_read += payload;
     } else {
       stats_.bytes_written += payload;
     }
-    if (mn < kMaxMnsTracked) {
-      stats_.msgs_per_mn[mn]++;
-      stats_.bytes_per_mn[mn] += payload;
-    }
+    stats_.note_mn(mn, payload);
     const uint64_t service =
         cfg.mn_msg_ns + static_cast<uint64_t>(static_cast<double>(payload) /
                                               cfg.bytes_per_ns);
+    const uint64_t start_ns = clock_ns_;
     clock_ns_ += cfg.post_verb_ns + cfg.cn_msg_ns + service + cfg.base_rtt_ns;
+    if (trace_ != nullptr) {
+      trace_->record(phase_name(phase_), start_ns, clock_ns_ - start_ns,
+                     trace_tid_);
+    }
   }
 
   Fabric& fabric_;
@@ -239,6 +265,29 @@ class Endpoint {
   uint32_t fault_client_id_;
   uint64_t fault_verb_seq_ = 0;
   bool crashed_ = false;
+  Phase phase_ = Phase::kUnattributed;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t trace_tid_ = 0;
+};
+
+// RAII phase tag: round trips charged while the scope lives are attributed
+// to `p`. Scopes nest; the innermost one wins (a recovery helper called
+// from an INHT insert re-tags its verbs kRecovery), and the previous phase
+// is restored on exit -- including exits by exception (ClientCrashed), so a
+// crashed-and-reincarnated worker never leaks a stale phase.
+class PhaseScope {
+ public:
+  PhaseScope(Endpoint& ep, Phase p) : ep_(ep), saved_(ep.phase()) {
+    ep_.set_phase(p);
+  }
+  ~PhaseScope() { ep_.set_phase(saved_); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Endpoint& ep_;
+  Phase saved_;
 };
 
 }  // namespace sphinx::rdma

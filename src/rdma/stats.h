@@ -1,16 +1,21 @@
 // Per-endpoint traffic statistics. Everything the paper's analysis reasons
 // about -- round trips, messages, bytes on the wire -- is counted here so
 // benches can print RTT histograms (E6) and bandwidth figures directly.
-// Per-MN breakdowns feed the NIC capacity model (see runner.cpp).
+// Per-MN breakdowns feed the NIC capacity model (see runner.cpp); per-phase
+// breakdowns (phase.h) attribute every round trip to a protocol step.
+// Scalar counters are registered in metrics::Field tables so merge/diff/
+// JSON come from one list per struct instead of hand-rolled boilerplate.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "rdma/phase.h"
 
 namespace sphinx::rdma {
-
-constexpr uint32_t kMaxMnsTracked = 8;
 
 struct EndpointStats {
   uint64_t reads = 0;        // READ verbs issued
@@ -21,59 +26,102 @@ struct EndpointStats {
   uint64_t bytes_read = 0;   // payload bytes fetched from MNs
   uint64_t bytes_written = 0;
   uint64_t messages = 0;     // individual verbs on the wire
-  std::array<uint64_t, kMaxMnsTracked> msgs_per_mn{};
-  std::array<uint64_t, kMaxMnsTracked> bytes_per_mn{};
+  // Round trips / wire bytes by protocol phase (the endpoint's phase at
+  // charge time). Incremented at exactly the two sites that bump
+  // round_trips / bytes_*, so the per-phase sums equal the totals.
+  std::array<uint64_t, kNumPhases> rtts_by_phase{};
+  std::array<uint64_t, kNumPhases> bytes_by_phase{};
+  // Sized from the fabric by the Endpoint constructor (one slot per MN);
+  // note_mn() grows them defensively so no MN's traffic is ever dropped.
+  std::vector<uint64_t> msgs_per_mn;
+  std::vector<uint64_t> bytes_per_mn;
 
   uint64_t verbs() const { return reads + writes + cas + faa; }
   uint64_t bytes_total() const { return bytes_read + bytes_written; }
 
+  uint64_t rtts_sum_by_phase() const {
+    uint64_t s = 0;
+    for (uint64_t v : rtts_by_phase) s += v;
+    return s;
+  }
+  uint64_t bytes_sum_by_phase() const {
+    uint64_t s = 0;
+    for (uint64_t v : bytes_by_phase) s += v;
+    return s;
+  }
+
+  void reserve_mns(uint32_t num_mns) {
+    if (msgs_per_mn.size() < num_mns) {
+      msgs_per_mn.resize(num_mns, 0);
+      bytes_per_mn.resize(num_mns, 0);
+    }
+  }
+
+  void note_mn(uint32_t mn, uint64_t payload) {
+    if (mn >= msgs_per_mn.size()) reserve_mns(mn + 1);
+    msgs_per_mn[mn]++;
+    bytes_per_mn[mn] += payload;
+  }
+
   // True when no counter has moved. Unmetered endpoints (bootstrap and
   // loading paths) must keep this true for their whole lifetime, even
   // under fault injection; test_fault_injection.cpp asserts it.
-  bool all_zero() const {
-    if (verbs() != 0 || round_trips != 0 || bytes_total() != 0 ||
-        messages != 0) {
-      return false;
-    }
-    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
-      if (msgs_per_mn[i] != 0 || bytes_per_mn[i] != 0) return false;
-    }
-    return true;
-  }
+  bool all_zero() const;
 
-  EndpointStats& operator+=(const EndpointStats& o) {
-    reads += o.reads;
-    writes += o.writes;
-    cas += o.cas;
-    faa += o.faa;
-    round_trips += o.round_trips;
-    bytes_read += o.bytes_read;
-    bytes_written += o.bytes_written;
-    messages += o.messages;
-    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
-      msgs_per_mn[i] += o.msgs_per_mn[i];
-      bytes_per_mn[i] += o.bytes_per_mn[i];
-    }
-    return *this;
-  }
-
-  EndpointStats operator-(const EndpointStats& o) const {
-    EndpointStats r = *this;
-    r.reads -= o.reads;
-    r.writes -= o.writes;
-    r.cas -= o.cas;
-    r.faa -= o.faa;
-    r.round_trips -= o.round_trips;
-    r.bytes_read -= o.bytes_read;
-    r.bytes_written -= o.bytes_written;
-    r.messages -= o.messages;
-    for (uint32_t i = 0; i < kMaxMnsTracked; ++i) {
-      r.msgs_per_mn[i] -= o.msgs_per_mn[i];
-      r.bytes_per_mn[i] -= o.bytes_per_mn[i];
-    }
-    return r;
-  }
+  EndpointStats& operator+=(const EndpointStats& o);
+  EndpointStats operator-(const EndpointStats& o) const;
 };
+
+inline constexpr metrics::Field<EndpointStats> kEndpointStatsFields[] = {
+    {"reads", &EndpointStats::reads},
+    {"writes", &EndpointStats::writes},
+    {"cas", &EndpointStats::cas},
+    {"faa", &EndpointStats::faa},
+    {"round_trips", &EndpointStats::round_trips},
+    {"bytes_read", &EndpointStats::bytes_read},
+    {"bytes_written", &EndpointStats::bytes_written},
+    {"messages", &EndpointStats::messages},
+};
+
+inline bool EndpointStats::all_zero() const {
+  if (!metrics::all_zero(*this, kEndpointStatsFields)) return false;
+  for (uint64_t v : rtts_by_phase) {
+    if (v != 0) return false;
+  }
+  for (uint64_t v : bytes_by_phase) {
+    if (v != 0) return false;
+  }
+  for (uint64_t v : msgs_per_mn) {
+    if (v != 0) return false;
+  }
+  for (uint64_t v : bytes_per_mn) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+inline EndpointStats& EndpointStats::operator+=(const EndpointStats& o) {
+  metrics::add(*this, o, kEndpointStatsFields);
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    rtts_by_phase[i] += o.rtts_by_phase[i];
+    bytes_by_phase[i] += o.bytes_by_phase[i];
+  }
+  metrics::add_vec(msgs_per_mn, o.msgs_per_mn);
+  metrics::add_vec(bytes_per_mn, o.bytes_per_mn);
+  return *this;
+}
+
+inline EndpointStats EndpointStats::operator-(const EndpointStats& o) const {
+  EndpointStats r = *this;
+  metrics::sub(r, o, kEndpointStatsFields);
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    r.rtts_by_phase[i] -= o.rtts_by_phase[i];
+    r.bytes_by_phase[i] -= o.bytes_by_phase[i];
+  }
+  metrics::sub_vec(r.msgs_per_mn, o.msgs_per_mn);
+  metrics::sub_vec(r.bytes_per_mn, o.bytes_per_mn);
+  return r;
+}
 
 // Plain snapshot of the fault-injection counters (see fault_injector.h),
 // safe to copy/compare in tests and bench reports.
@@ -90,13 +138,17 @@ struct FaultStats {
     return cas_failures + delays + stalls + offline_rejects + client_crashes;
   }
 
-  bool operator==(const FaultStats& o) const {
-    return verbs_inspected == o.verbs_inspected &&
-           cas_failures == o.cas_failures && delays == o.delays &&
-           stalls == o.stalls && offline_rejects == o.offline_rejects &&
-           offline_giveups == o.offline_giveups &&
-           client_crashes == o.client_crashes;
-  }
+  bool operator==(const FaultStats& o) const = default;
+};
+
+inline constexpr metrics::Field<FaultStats> kFaultStatsFields[] = {
+    {"verbs_inspected", &FaultStats::verbs_inspected},
+    {"cas_failures", &FaultStats::cas_failures},
+    {"delays", &FaultStats::delays},
+    {"stalls", &FaultStats::stalls},
+    {"offline_rejects", &FaultStats::offline_rejects},
+    {"offline_giveups", &FaultStats::offline_giveups},
+    {"client_crashes", &FaultStats::client_crashes},
 };
 
 // Live fault counters, shared by every endpoint of a fabric (hence atomic;
@@ -131,14 +183,20 @@ struct RecoveryStats {
   uint64_t lock_rollforwards = 0;        // reclaimed image rolled forward
   uint64_t retry_timeouts = 0;           // per-op retry budget exhausted
 
-  RecoveryStats& operator+=(const RecoveryStats& o) {
-    lease_expiries_observed += o.lease_expiries_observed;
-    lock_reclaims += o.lock_reclaims;
-    lock_rollforwards += o.lock_rollforwards;
-    retry_timeouts += o.retry_timeouts;
-    return *this;
-  }
+  RecoveryStats& operator+=(const RecoveryStats& o);
 };
+
+inline constexpr metrics::Field<RecoveryStats> kRecoveryStatsFields[] = {
+    {"lease_expiries_observed", &RecoveryStats::lease_expiries_observed},
+    {"lock_reclaims", &RecoveryStats::lock_reclaims},
+    {"lock_rollforwards", &RecoveryStats::lock_rollforwards},
+    {"retry_timeouts", &RecoveryStats::retry_timeouts},
+};
+
+inline RecoveryStats& RecoveryStats::operator+=(const RecoveryStats& o) {
+  metrics::add(*this, o, kRecoveryStatsFields);
+  return *this;
+}
 
 // Range-scan engine counters kept per tree client (remote_tree.cpp) and
 // aggregated into bench JSON. The two "data loss" counters at the bottom
@@ -157,22 +215,28 @@ struct ScanStats {
   uint64_t leaf_drops = 0;        // leaf dropped, retries exhausted
   uint64_t truncated_scans = 0;   // scans that reported incompleteness
 
-  ScanStats& operator+=(const ScanStats& o) {
-    scans += o.scans;
-    jump_starts += o.jump_starts;
-    root_starts += o.root_starts;
-    widen_resumes += o.widen_resumes;
-    restarts += o.restarts;
-    frontier_batches += o.frontier_batches;
-    frontier_nodes += o.frontier_nodes;
-    root_refreshes += o.root_refreshes;
-    stale_retries += o.stale_retries;
-    subtree_skips += o.subtree_skips;
-    leaf_drops += o.leaf_drops;
-    truncated_scans += o.truncated_scans;
-    return *this;
-  }
+  ScanStats& operator+=(const ScanStats& o);
 };
+
+inline constexpr metrics::Field<ScanStats> kScanStatsFields[] = {
+    {"scans", &ScanStats::scans},
+    {"jump_starts", &ScanStats::jump_starts},
+    {"root_starts", &ScanStats::root_starts},
+    {"widen_resumes", &ScanStats::widen_resumes},
+    {"restarts", &ScanStats::restarts},
+    {"frontier_batches", &ScanStats::frontier_batches},
+    {"frontier_nodes", &ScanStats::frontier_nodes},
+    {"root_refreshes", &ScanStats::root_refreshes},
+    {"stale_retries", &ScanStats::stale_retries},
+    {"subtree_skips", &ScanStats::subtree_skips},
+    {"leaf_drops", &ScanStats::leaf_drops},
+    {"truncated_scans", &ScanStats::truncated_scans},
+};
+
+inline ScanStats& ScanStats::operator+=(const ScanStats& o) {
+  metrics::add(*this, o, kScanStatsFields);
+  return *this;
+}
 
 // Log2 histogram of the virtual backoff waits charged by RetryPolicy:
 // bucket i counts waits in [2^i, 2^(i+1)) ns.

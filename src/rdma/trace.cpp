@@ -1,0 +1,38 @@
+#include "rdma/trace.h"
+
+#include <ostream>
+
+#include "common/metrics.h"
+
+namespace sphinx::rdma {
+
+// Chrome trace_event format (the JSON Object Format variant): complete
+// events carry ph="X" with ts/dur in *microseconds*; metadata events name
+// the processes. Virtual nanoseconds map to fractional microseconds so
+// sub-microsecond verbs stay visible.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceProcess>& processes) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n ";
+  };
+  for (size_t pid = 0; pid < processes.size(); ++pid) {
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": " << pid
+        << ", \"name\": \"process_name\", \"args\": {\"name\": \""
+        << metrics::JsonObjectWriter::escape(processes[pid].name) << "\"}}";
+    for (const TraceEvent& e : processes[pid].recorder->events()) {
+      sep();
+      out << "{\"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << e.tid
+          << ", \"ts\": " << static_cast<double>(e.ts_ns) / 1000.0
+          << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0
+          << ", \"name\": \"" << e.name << "\", \"cat\": \"rdma\"}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace sphinx::rdma

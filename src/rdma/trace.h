@@ -1,0 +1,78 @@
+// Per-op trace spans on the virtual clock. When a TraceRecorder is attached
+// to an Endpoint (runner samples 1-in-N ops), every metered round trip
+// records a complete span named after its protocol phase, and the runner
+// adds an enclosing "op:*" span; write_chrome_trace() serializes recorders
+// as Chrome trace_event JSON ("X" complete events, ts/dur in microseconds)
+// loadable in chrome://tracing or Perfetto.
+//
+// The buffer is bounded: past `capacity` events the recorder counts drops
+// instead of growing, so tracing a long run cannot exhaust memory. Span
+// names must be static strings (phase names, op literals) -- the recorder
+// stores the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sphinx::rdma {
+
+struct TraceEvent {
+  const char* name;  // static string; not owned
+  uint64_t ts_ns;    // virtual-clock start
+  uint64_t dur_ns;   // span length on the virtual clock
+  uint32_t tid;      // worker id
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+              uint32_t tid) {
+    if (events_.size() >= capacity_) {
+      dropped_++;
+      return;
+    }
+    events_.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+  }
+
+  // Appends another recorder's events (post-join merge of per-worker
+  // buffers), still bounded by this recorder's capacity.
+  void merge(const TraceRecorder& o) {
+    for (const TraceEvent& e : o.events_) {
+      record(e.name, e.ts_ns, e.dur_ns, e.tid);
+    }
+    dropped_ += o.dropped_;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+// One Chrome-trace "process" per benchmark run (system/dataset/workload);
+// worker ids become thread ids within it.
+struct TraceProcess {
+  std::string name;
+  const TraceRecorder* recorder;
+};
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceProcess>& processes);
+
+}  // namespace sphinx::rdma

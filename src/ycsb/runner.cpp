@@ -84,6 +84,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     rdma::EndpointStats net;
     uint64_t misses = 0;
     uint64_t insert_overflow = 0;
+    uint64_t insert_failures = 0;
     uint64_t client_crashes = 0;
     uint64_t end_clock_ns = 0;
     uint64_t scan_ops = 0;
@@ -92,6 +93,10 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     uint64_t scan_round_trips = 0;
   };
   std::vector<WorkerOut> outs(options.workers);
+  // Per-worker span buffers (merged into options.trace after the join, so
+  // recording is contention-free). Sized 0 when tracing is off.
+  std::vector<rdma::TraceRecorder> traces(
+      options.trace != nullptr ? options.workers : 0);
   std::vector<std::thread> threads;
 
   for (uint32_t w = 0; w < options.workers; ++w) {
@@ -128,34 +133,52 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
       std::string read_buf;
       std::vector<std::pair<std::string, std::string>> scan_buf;
 
+      rdma::TraceRecorder* wrec = traces.empty() ? nullptr : &traces[w];
+
       for (uint64_t op = 0; op < options.ops_per_worker; ++op) {
+        const bool traced =
+            wrec != nullptr && (op % options.trace_sample) == 0;
+        endpoint->set_trace(traced ? wrec : nullptr, w);
+        const char* op_name = "op";
         const uint64_t t0 = endpoint->clock_ns();
         try {
           const double roll = rng.next_double();
           if (roll < p_read) {
+            op_name = "op:read";
             const uint64_t idx = dist->next(rng);
             if (!index->search(keys_[idx], &read_buf)) out.misses++;
           } else if (roll < p_update) {
+            op_name = "op:update";
             const uint64_t idx = dist->next(rng);
             std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
             if (!index->update(keys_[idx], value)) out.misses++;
           } else if (roll < p_insert) {
+            op_name = "op:insert";
             const uint64_t idx =
                 insert_cursor_.fetch_add(1, std::memory_order_relaxed);
             if (idx >= keys_.size()) {
               // Key pool exhausted: degrade to an update so the op mix keeps
-              // its write share (counted so benches can size the pool).
+              // its write share (counted so benches can size the pool); a
+              // failed fallback update is a miss like any other update's.
               out.insert_overflow++;
               const uint64_t j = dist->next(rng);
               std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
-              index->update(keys_[j], value);
+              if (!index->update(keys_[j], value)) out.misses++;
             } else {
               std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
-              index->insert(keys_[idx], value);
-              visible_.fetch_add(1, std::memory_order_relaxed);
-              if (latest) latest->advance_frontier();
+              if (index->insert(keys_[idx], value)) {
+                // Only successful inserts become visible / advance the
+                // latest-distribution frontier. A failed insert leaves
+                // keys_[idx] a permanent hole: once later successes move
+                // `visible_` past idx, reads drawing it miss -- honestly.
+                visible_.fetch_add(1, std::memory_order_relaxed);
+                if (latest) latest->advance_frontier();
+              } else {
+                out.insert_failures++;
+              }
             }
           } else {
+            op_name = "op:scan";
             const uint64_t idx = dist->next(rng);
             const size_t len = 1 + rng.next_below(spec.max_scan_len);
             const uint64_t rtts_before = endpoint->stats().round_trips;
@@ -174,6 +197,9 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
           incarnate();
           continue;  // the crashed op is abandoned, not retried
         }
+        if (traced) {
+          wrec->record(op_name, t0, endpoint->clock_ns() - t0, w);
+        }
         out.latency.record(endpoint->clock_ns() - t0);
       }
       out.net += endpoint->stats();
@@ -191,6 +217,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.net += out.net;
     result.misses += out.misses;
     result.insert_overflow += out.insert_overflow;
+    result.insert_failures += out.insert_failures;
     result.client_crashes += out.client_crashes;
     result.scan_ops += out.scan_ops;
     result.scan_keys += out.scan_keys;
@@ -198,6 +225,9 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.scan_round_trips += out.scan_round_trips;
     cn_msgs[w % num_cns] += out.net.messages;
     max_clock = std::max(max_clock, out.end_clock_ns);
+  }
+  if (options.trace != nullptr) {
+    for (const rdma::TraceRecorder& rec : traces) options.trace->merge(rec);
   }
   result.total_ops = options.ops_per_worker * options.workers;
 
@@ -208,8 +238,10 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
   const rdma::NetworkConfig& cfg = cluster_.config();
   const double t_unloaded = static_cast<double>(max_clock);
   double u_max = 0.0;
-  for (uint32_t mn = 0; mn < cluster_.num_mns() && mn < rdma::kMaxMnsTracked;
-       ++mn) {
+  // The per-MN vectors are sized from the fabric (and grown on demand), so
+  // every MN's traffic enters the capacity model -- nothing escapes on
+  // clusters wider than the old fixed-size tracking arrays.
+  for (uint32_t mn = 0; mn < result.net.msgs_per_mn.size(); ++mn) {
     const double demand =
         static_cast<double>(result.net.msgs_per_mn[mn]) *
             static_cast<double>(cfg.mn_msg_ns) +
@@ -222,18 +254,23 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     if (t_unloaded > 0) u_max = std::max(u_max, demand / t_unloaded);
   }
   result.nic_utilization = u_max;
-  const double t_eff = t_unloaded * std::max(1.0, u_max);
+  result.latency_stretch = std::max(1.0, u_max);
+  const double t_eff = t_unloaded * result.latency_stretch;
 
   result.sim_seconds = t_eff / 1e9;
   result.ops_per_sec =
       result.sim_seconds > 0
           ? static_cast<double>(result.total_ops) / result.sim_seconds
           : 0;
+  // Effective mean (Little's law over the worker population, consistent
+  // with ops_per_sec); the unloaded mean comes from the same histogram the
+  // percentiles do, so both latency views are internally consistent.
   result.mean_latency_ns =
       result.total_ops > 0
           ? static_cast<double>(options.workers) * t_eff /
                 static_cast<double>(result.total_ops)
           : 0;
+  result.mean_unloaded_latency_ns = result.latency.mean_ns();
   result.rtts_per_op = static_cast<double>(result.net.round_trips) /
                        static_cast<double>(result.total_ops);
   result.read_bytes_per_op = static_cast<double>(result.net.bytes_read) /

@@ -42,6 +42,13 @@ struct RunOptions {
   uint32_t workers = 6;
   uint64_t ops_per_worker = 10000;
   uint64_t seed = 42;
+  // When non-null, 1-in-`trace_sample` ops record trace spans (an enclosing
+  // "op:*" span plus one phase-named span per round trip) into per-worker
+  // bounded buffers that are merged into `trace` after the join. Null (the
+  // default) leaves the endpoints' trace hook detached: virtual clocks and
+  // stats are bit-identical to an untraced run.
+  rdma::TraceRecorder* trace = nullptr;
+  uint32_t trace_sample = 32;
 };
 
 struct RunResult {
@@ -49,6 +56,11 @@ struct RunResult {
   uint64_t total_ops = 0;
   uint64_t misses = 0;        // reads/updates of not-yet-visible keys
   uint64_t insert_overflow = 0;  // insert pool exhausted (fell back to update)
+  // Run-phase inserts whose index->insert() returned false. Failed inserts
+  // do NOT advance the visible set or the latest-distribution frontier;
+  // the claimed key stays a hole in the pool and later reads of it count
+  // as misses. Zero in any fault-free run.
+  uint64_t insert_failures = 0;
   // Injected client crashes (kClientCrash faults). Each kills one worker
   // mid-op; the runner reincarnates it with a fresh endpoint + index client
   // and carries its virtual clock forward. The in-flight op is abandoned
@@ -64,11 +76,27 @@ struct RunResult {
   double ops_per_sec = 0;
   // Busiest-NIC utilization at unloaded pacing; > 1 means saturated.
   double nic_utilization = 0;
-  // Mean operation latency consistent with the reported throughput
-  // (Little's law over the worker population).
+  // Latency is dual-reported and the two views differ exactly by the
+  // NIC-capacity stretch factor `latency_stretch` = max(1, nic_utilization):
+  //  * `latency` (and mean_unloaded_latency_ns) is the per-op distribution
+  //    at unloaded pacing -- no queueing applied, what each op cost on its
+  //    own virtual timeline;
+  //  * `mean_latency_ns` and effective_percentile_ns() are *effective*
+  //    (queueing-adjusted) figures consistent with the reported throughput
+  //    via Little's law over the worker population. On an unsaturated
+  //    fabric the stretch is 1 and the two views coincide.
   double mean_latency_ns = 0;
+  double mean_unloaded_latency_ns = 0;
+  double latency_stretch = 1.0;
   // Per-op latency distribution at unloaded pacing (no queueing applied).
   LatencyHistogram latency;
+
+  // Queueing-adjusted percentile: the unloaded histogram percentile scaled
+  // by the same stretch factor as mean_latency_ns, so a saturated run's
+  // reported p50/p99 can never sit below its reported mean.
+  double effective_percentile_ns(double p) const {
+    return static_cast<double>(latency.percentile_ns(p)) * latency_stretch;
+  }
   rdma::EndpointStats net;
   double rtts_per_op = 0;
   double read_bytes_per_op = 0;

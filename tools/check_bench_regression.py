@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a bench_ycsb --json run against a committed seed.
+
+Usage: check_bench_regression.py SEED.json CURRENT.json [--tolerance=0.05]
+
+Checks, per (system, dataset, workload) record:
+  * rtts_per_op within +/-tolerance (relative) of the seed. RTTs per op are
+    a pure protocol property of the simulator -- independent of host speed
+    and thread scheduling up to batching races -- so a drift beyond the
+    tolerance means the protocol itself got chattier (or an accounting bug).
+  * loss counters are zero: scan_subtree_skips, scan_leaf_drops,
+    scan_truncated_ops, insert_failures. These count silently dropped or
+    failed work; CI runs fault-free, where any nonzero value is a bug.
+  * phase attribution sums exactly to round_trips (when phase_rtts present).
+  * every seed record still exists in the current run (a missing system or
+    workload is a silent coverage loss, not a pass).
+
+Exit status: 0 clean, 1 any check failed, 2 usage/IO error.
+"""
+import json
+import sys
+
+
+def key(rec):
+    return (rec["system"], rec["dataset"], rec["workload"])
+
+
+LOSS_COUNTERS = (
+    "scan_subtree_skips",
+    "scan_leaf_drops",
+    "scan_truncated_ops",
+    "insert_failures",
+)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    tolerance = 0.05
+    for o in opts:
+        if o.startswith("--tolerance="):
+            tolerance = float(o.split("=", 1)[1])
+        else:
+            sys.stderr.write("unknown option: %s\n" % o)
+            return 2
+    try:
+        with open(args[0]) as f:
+            seed = {key(r): r for r in json.load(f)}
+        with open(args[1]) as f:
+            cur = {key(r): r for r in json.load(f)}
+    except (OSError, ValueError) as e:
+        sys.stderr.write("cannot load inputs: %s\n" % e)
+        return 2
+
+    failures = []
+    for k, s in sorted(seed.items()):
+        c = cur.get(k)
+        if c is None:
+            failures.append("%s/%s/%s: missing from current run" % k)
+            continue
+        base = s["rtts_per_op"]
+        now = c["rtts_per_op"]
+        if base > 0 and abs(now - base) / base > tolerance:
+            failures.append(
+                "%s/%s/%s: rtts_per_op %.4f -> %.4f (%+.1f%%, tolerance %.0f%%)"
+                % (k + (base, now, 100.0 * (now - base) / base,
+                        100.0 * tolerance)))
+
+    for k, c in sorted(cur.items()):
+        for counter in LOSS_COUNTERS:
+            v = c.get(counter, 0)
+            if v != 0:
+                failures.append("%s/%s/%s: %s = %d (must be 0)"
+                                % (k + (counter, v)))
+        phases = c.get("phase_rtts")
+        if phases is not None and "round_trips" in c:
+            total = sum(phases.values())
+            if total != c["round_trips"]:
+                failures.append(
+                    "%s/%s/%s: sum(phase_rtts)=%d != round_trips=%d"
+                    % (k + (total, c["round_trips"])))
+
+    if failures:
+        sys.stderr.write("bench regression check FAILED:\n")
+        for f in failures:
+            sys.stderr.write("  " + f + "\n")
+        return 1
+    print("bench regression check passed: %d records within %.0f%%"
+          % (len(seed), 100.0 * tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,7 +11,8 @@
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
 //              [--faults=0.02] [--crash-rate=0.0001] [--fault-seed=42]
 //              [--json=out.json] [--trace=out.trace.json]
-//              [--pec-budget=<bytes>] [--no-pec] [--no-scan-jump]
+//              [--pec-budget=<bytes>] [--no-pec]
+//              [--lac-budget=<bytes>] [--no-lac] [--no-scan-jump]
 //
 // --faults=<rate> installs the standard background fault schedule
 // (rdma/fault_injector.h) on the fabric for the measured phases: per-verb
@@ -37,6 +38,10 @@
 // --pec-budget=<bytes> overrides the Sphinx prefix-entry-cache budget
 // (default: 25% of the CN cache budget); --no-pec disables the PEC,
 // reproducing the seed SFC-only configuration.
+// --lac-budget=<bytes> overrides the Sphinx leaf-address-cache budget
+// (default: 5% of the CN cache budget, carved from the filter's share);
+// --no-lac disables the LAC, reproducing the two-tier SFC+PEC
+// configuration bit for bit.
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -63,6 +68,9 @@ struct JsonRecord {
   // Scan breakdown (workload E; zero elsewhere). scan_subtree_skips and
   // scan_leaf_drops must be zero in any fault-free run -- CI asserts it.
   rdma::ScanStats scan;
+  // Sphinx cache-tier counters (zero for other systems). lac_wrong_value
+  // must be zero in *every* run, faulted or not -- CI asserts it.
+  core::SphinxStats sphinx;
 };
 
 // Sums the crash-recovery counters of every worker's index client (tree
@@ -73,6 +81,7 @@ struct RecoveryAgg {
   rdma::RecoveryStats recovery;
   rdma::BackoffHistogram backoff;
   rdma::ScanStats scan;
+  core::SphinxStats sphinx_stats;
 
   void add(KvIndex& index) {
     std::lock_guard<std::mutex> lock(mu);
@@ -85,6 +94,7 @@ struct RecoveryAgg {
       const race::RaceStats inht = sphinx->inht().aggregated_stats();
       recovery += inht.recovery;
       backoff += inht.backoff;
+      sphinx_stats += sphinx->sphinx_stats();
     }
   }
 
@@ -92,6 +102,7 @@ struct RecoveryAgg {
     recovery = rdma::RecoveryStats();
     backoff = rdma::BackoffHistogram();
     scan = rdma::ScanStats();
+    sphinx_stats = core::SphinxStats();
   }
 };
 
@@ -151,6 +162,10 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     w.field("scan_rtts_per_op", res.scan_rtts_per_op);
     w.field("scan_truncated_ops", res.scan_truncated);
     metrics::write_fields(w, r.scan, rdma::kScanStatsFields, "scan_");
+    // Cache-tier counters (all zero for non-Sphinx systems). The regression
+    // gate keys on lac_wrong_value: a 1-RTT speculative read that returned
+    // a wrong value past validation -- must be zero in every run.
+    metrics::write_fields(w, r.sphinx, core::kSphinxStatsFields);
     w.field("backoff_waits", r.backoff.waits);
     w.field("backoff_wait_ns", r.backoff.wait_ns);
     {
@@ -191,6 +206,13 @@ int run(int argc, char** argv) {
           ? 0
           : flags.has("pec-budget") ? flags.get_u64("pec-budget", 0)
                                     : ycsb::kAutoPecBudget;
+  // LAC sizing, same precedence: --no-lac wins, then --lac-budget, else
+  // the default 25% carve-out.
+  const uint64_t lac_budget =
+      flags.get_bool("no-lac", false)
+          ? 0
+          : flags.has("lac-budget") ? flags.get_u64("lac-budget", 0)
+                                    : ycsb::kAutoLacBudget;
   std::vector<JsonRecord> json_records;
   // One recorder per measured (system, dataset, workload) phase; deque for
   // stable addresses (TraceProcess keeps pointers into it).
@@ -226,7 +248,7 @@ int run(int argc, char** argv) {
     for (const ycsb::SystemKind kind : paper_systems()) {
       auto cluster = make_cluster(pool);
       ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys),
-                              pec_budget);
+                              pec_budget, lac_budget);
       setup.set_scan_jump(scan_jump);
       ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
       runner.load(num_keys, 64);
@@ -321,7 +343,8 @@ int run(int argc, char** argv) {
         if (!json_path.empty()) {
           json_records.push_back({setup.name(), ycsb::dataset_name(dataset),
                                   result, recovery_agg.recovery,
-                                  recovery_agg.backoff, recovery_agg.scan});
+                                  recovery_agg.backoff, recovery_agg.scan,
+                                  recovery_agg.sphinx_stats});
         }
         row++;
       }

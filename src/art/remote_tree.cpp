@@ -192,6 +192,9 @@ bool RemoteTree::search(Slice key, std::string* value_out) {
         if (value_out != nullptr) {
           value_out->assign(d.leaf.value().data(), d.leaf.value().size());
         }
+        // The descent just proved key -> (leaf_addr, units) fresh against
+        // remote memory: feed the leaf address cache.
+        note_leaf_at(d.leaf.key(), d.leaf_addr, d.leaf.units());
         return true;
       case DescendStatus::kFoundInvalidLeaf:
       case DescendStatus::kNoSlot:
@@ -418,6 +421,7 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
       fresh.set_slot(static_cast<uint32_t>(free_idx), slot_word);
       fresh.set_header(seen);
       note_inner_write(node.addr, fresh);
+      note_leaf_at(key.full(), leaf.addr, leaf.units);
     }
   } else {
     unlock_node(node.addr, locked, seen);
@@ -535,6 +539,9 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   note_inner_write(parent.addr, fresh);
   note_inner_write(m_addr, m);
   on_inner_created(key.prefix(cpl), m, m_addr);
+  // Only the new key's leaf is reported: the existing leaf moved *slots*
+  // (under M) but kept its address, so its cached binding stays valid.
+  note_leaf_at(key.full(), leaf.addr, leaf.units);
   stats_.splits++;
   return true;
 }
@@ -591,6 +598,7 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
       fresh.set_slot(static_cast<uint32_t>(idx), slot_word);
       fresh.set_header(seen);
       note_inner_write(node.addr, fresh);
+      note_leaf_at(key.full(), leaf.addr, leaf.units);
       // The dead leaf's storage is retired (accounting only; memory is not
       // reused to keep stale readers safe -- see DESIGN.md).
       cluster_.alloc_stats().sub(
@@ -813,6 +821,9 @@ bool RemoteTree::update(Slice key, Slice value) {
             rdma::PhaseScope write_scope(endpoint_, rdma::Phase::kLeafWrite);
             publish.execute();
           }
+          // In-place: address and units are unchanged; this refreshes the
+          // cached binding's confidence, it does not move it.
+          note_leaf_at(tkey.full(), d.leaf_addr, d.leaf.units());
           return true;
         }
         // Out-of-place: lock the old leaf (blocks in-place updaters), then
@@ -876,6 +887,9 @@ bool RemoteTree::update(Slice key, Slice value) {
                 fresh.set_slot(static_cast<uint32_t>(idx), new_slot);
                 fresh.set_header(seen_p);
                 note_inner_write(parent.addr, fresh);
+                // The key moved to a new block: replace the cached binding
+                // in one step (no separate retire for the old address).
+                note_leaf_at(tkey.full(), leaf.addr, leaf.units);
               }
             } else {
               unlock_node(parent.addr, locked_p, seen_p);
@@ -979,6 +993,9 @@ bool RemoteTree::remove(Slice key) {
           stats_.op_retries++;
           continue;
         }
+        // The leaf is Invalid as of the CAS above: purge this CN's cached
+        // binding at the linearization point.
+        note_leaf_retired(tkey.full(), d.leaf_addr);
         // Best-effort slot cleanup under the parent lock; a leftover slot
         // pointing at an Invalid leaf reads as absent everywhere.
         PathEntry& parent = d.path.back();
@@ -1704,6 +1721,9 @@ void RemoteTree::run_scan(
           if (high != nullptr && lk.compare(high->full()) > 0) {
             return;
           }
+          // A scan emit is a fully verified (key, leaf) binding too: feed
+          // the leaf address cache so point reads of scanned keys can jump.
+          note_leaf_at(lk, slot_addr(it.word), slot_leaf_units(it.word));
           out->emplace_back(std::string(lk.data(), lk.size() - 1),  // no NUL
                             leaf.value().to_string());
           release_buf(it);

@@ -199,6 +199,29 @@ class RemoteTree : public KvIndex {
     (void)new_addr;
   }
 
+  // A leaf whose exact location this client just verified: `terminated_key`
+  // (with its NUL) lives in the `units`-unit block at `addr`. Fired on
+  // every successful point read, every write-side leaf install (insert,
+  // in-place and out-of-place update) and every scan leaf emit -- i.e.
+  // whenever the binding was proven fresh against remote memory. Sphinx
+  // feeds its leaf address cache so the next point read of the key can go
+  // straight to the block.
+  virtual void note_leaf_at(Slice terminated_key, rdma::GlobalAddr addr,
+                            uint32_t units) {
+    (void)terminated_key;
+    (void)addr;
+    (void)units;
+  }
+
+  // The leaf at `addr` holding `terminated_key` was retired (remove's
+  // Idle -> Invalid CAS -- the delete's linearization point). Out-of-place
+  // updates do not fire this: their note_leaf_at with the new address
+  // replaces the binding in one step.
+  virtual void note_leaf_retired(Slice terminated_key, rdma::GlobalAddr addr) {
+    (void)terminated_key;
+    (void)addr;
+  }
+
   // Fetches an inner node of (claimed) type `type`. Default: one RDMA READ.
   virtual bool fetch_inner(rdma::GlobalAddr addr, NodeType type,
                            InnerImage* out);

@@ -15,12 +15,127 @@ SphinxIndex::SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
                          mem::RemoteAllocator& allocator,
                          const SphinxRefs& refs, filter::CuckooFilter* filter,
                          filter::PrefixEntryCache* pec,
+                         filter::LeafAddressCache* lac,
                          const SphinxConfig& config)
     : RemoteTree(cluster, endpoint, allocator, refs.tree, config.tree),
       inht_(cluster, endpoint, allocator, refs.inht),
       filter_(config.use_filter ? filter : nullptr),
       pec_(config.use_pec ? pec : nullptr),
+      lac_(config.use_lac ? lac : nullptr),
       config_(config) {}
+
+bool SphinxIndex::search(Slice key, std::string* value_out) {
+  // With no LAC installed the point read is exactly the base machinery --
+  // same verbs, clocks and stats (the --no-lac A/B contract).
+  if (lac_ == nullptr) return RemoteTree::search(key, value_out);
+
+  const art::TerminatedKey tkey(key);
+  const uint64_t full_hash = tkey.hash_of_prefix(tkey.size());
+  endpoint_.advance_local(config_.lac_probe_ns);
+  uint64_t payload = 0;
+  bool hot = false;
+  if (!lac_->lookup(full_hash, &payload, &hot)) {
+    return RemoteTree::search(key, value_out);
+  }
+  sstats_.lac_hits++;
+  const uint32_t units = filter::lac_payload_units(payload);
+  const rdma::GlobalAddr leaf_addr =
+      rdma::GlobalAddr::from48(filter::lac_payload_addr48(payload));
+
+  // Cold (low-confidence) hits hedge: find the deepest PEC-hinted inner
+  // node for this key *locally* (no round trips) so its read can ride the
+  // same doorbell as the speculative leaf read. If the leaf turns out
+  // stale, the fallback descent's start node is already in hand -- the
+  // rescue costs zero extra round trips, mirroring the PEC's cold-hit
+  // fusion with the INHT group read.
+  uint32_t fused_len = 0;
+  uint64_t fused_hash = 0;
+  uint64_t fused_payload = 0;
+  if (!hot && config_.lac_speculative_fusion && pec_ != nullptr) {
+    const uint32_t max_len = tkey.size() - 1;
+    hash_scratch_.resize(max_len + 1);
+    for (uint32_t l = 1; l <= max_len; ++l) {
+      hash_scratch_[l] = tkey.hash_of_prefix(l);
+    }
+    endpoint_.advance_local(config_.prefix_hash_ns * max_len);
+    for (uint32_t l = max_len; l >= 1; --l) {
+      if (filter_ != nullptr) {
+        endpoint_.advance_local(config_.filter_probe_ns);
+        if (!filter_->contains(hash_scratch_[l])) continue;
+      }
+      endpoint_.advance_local(config_.pec_probe_ns);
+      uint64_t p = 0;
+      bool inner_hot = false;
+      if (!pec_->lookup(hash_scratch_[l], &p, &inner_hot)) continue;
+      sstats_.pec_hits++;
+      fused_len = l;
+      fused_hash = hash_scratch_[l];
+      fused_payload = p;
+      break;
+    }
+  }
+
+  lac_leaf_.resize(units);
+  {
+    rdma::DoorbellBatch batch(endpoint_);
+    batch.add_read(leaf_addr, lac_leaf_.buf().data(),
+                   units * art::kLeafUnitBytes);
+    if (fused_len > 0) {
+      const art::NodeType ftype = inht_payload_type(fused_payload);
+      batch.add_read(inht_payload_addr(fused_payload),
+                     pending_start_.image.raw(),
+                     art::inner_node_bytes(ftype));
+    }
+    // One round trip, LAC-attributed whole (phases charge per round trip,
+    // not per verb), keeping per-phase sums exact.
+    rdma::PhaseScope lac_scope(endpoint_, rdma::Phase::kLacFusedRead);
+    batch.execute();
+  }
+
+  // Validate the speculative leaf exactly as a descent-found leaf: unit
+  // count, CRC, liveness, then the byte-exact key compare that makes wrong
+  // answers structurally impossible even for ABA-recycled blocks.
+  const bool image_ok =
+      lac_leaf_.units() == units &&
+      lac_leaf_.revalidate() != art::LeafImage::Revalidate::kBad &&
+      lac_leaf_.status() != art::NodeStatus::kInvalid;
+  if (image_ok && lac_leaf_.key() == tkey.full()) {
+    // Final audit on the exact image being returned. The gate above already
+    // established both properties, so a failure here means the fast path
+    // itself is broken; the regression gate fails on a nonzero count.
+    if (!lac_leaf_.checksum_ok() || lac_leaf_.key() != tkey.full()) {
+      sstats_.lac_wrong_value++;
+    } else {
+      if (value_out != nullptr) {
+        value_out->assign(lac_leaf_.value().data(), lac_leaf_.value().size());
+      }
+      if (!hot) sstats_.lac_fused_wins++;
+      return true;
+    }
+  }
+
+  // Stale binding: the key moved (delete, delete+reinsert, out-of-place
+  // update) or the entry was torn. Purge it -- keyed on the address so a
+  // concurrent refresh survives -- and fall back to the full search, which
+  // repopulates the cache on success (staleness self-heals).
+  sstats_.lac_stale++;
+  lac_->invalidate_if(full_hash, leaf_addr.to48());
+  if (fused_len > 0) {
+    const art::NodeType ftype = inht_payload_type(fused_payload);
+    const rdma::GlobalAddr faddr = inht_payload_addr(fused_payload);
+    if (validate_start(fused_len, fused_hash, ftype, faddr,
+                       &pending_start_)) {
+      // The fused inner read validated: hand it to the fallback descent
+      // through find_start, so the rescue spends no extra round trip.
+      have_pending_start_ = true;
+      sstats_.lac_fused_losses++;
+    } else {
+      sstats_.pec_stale++;
+      pec_->invalidate_if(fused_hash, faddr.to48());
+    }
+  }
+  return RemoteTree::search(key, value_out);
+}
 
 bool SphinxIndex::validate_start(uint32_t len, uint64_t hash,
                                  art::NodeType type, rdma::GlobalAddr addr,
@@ -189,6 +304,15 @@ bool SphinxIndex::start_search(const art::TerminatedKey& key,
 }
 
 bool SphinxIndex::find_start(const art::TerminatedKey& key, PathEntry* out) {
+  if (have_pending_start_) {
+    // A stale LAC hit's fused inner read already validated a start node for
+    // exactly this key (search() sets the flag immediately before the
+    // fallback descent, which consumes it here on its first attempt).
+    have_pending_start_ = false;
+    *out = pending_start_;
+    sstats_.start_successes++;
+    return true;
+  }
   if (!start_search(key, key.size() - 1, out)) {
     sstats_.root_fallbacks++;
     return false;

@@ -29,6 +29,7 @@
 #include "common/metrics.h"
 #include "core/inht.h"
 #include "filter/cuckoo_filter.h"
+#include "filter/leaf_addr_cache.h"
 #include "filter/prefix_entry_cache.h"
 
 namespace sphinx::core {
@@ -45,9 +46,18 @@ struct SphinxConfig {
   // When false, cold hits behave like hot ones: node read only, with a
   // serial INHT read on validation failure.
   bool pec_speculative_fusion = true;
+  // Ablation: when false the leaf address cache is skipped and point reads
+  // always resolve the leaf address through SFC/PEC/INHT.
+  bool use_lac = true;
+  // When true, a cold LAC hit fuses the speculative leaf read with a
+  // PEC-hinted inner-node read in one doorbell batch, so a stale leaf
+  // address already holds the fallback descent's start node in hand (stale
+  // entry = 0 extra RTTs). When false, cold hits read the leaf alone.
+  bool lac_speculative_fusion = true;
   // CPU cost model for the CN-local work unique to Sphinx.
   uint64_t filter_probe_ns = 15;
   uint64_t pec_probe_ns = 15;
+  uint64_t lac_probe_ns = 15;
   uint64_t prefix_hash_ns = 25;
   art::TreeConfig tree;
 };
@@ -75,6 +85,11 @@ struct SphinxStats {
   uint64_t speculative_losses = 0; // fused read stale; group rescued the op
   uint64_t scan_start_successes = 0;  // scans entered below the root
   uint64_t scan_root_fallbacks = 0;   // scan entry search failed -> root
+  uint64_t lac_hits = 0;         // leaf address cache had a binding
+  uint64_t lac_stale = 0;        // cached binding failed leaf validation
+  uint64_t lac_fused_wins = 0;   // cold-hit fused leaf read validated
+  uint64_t lac_fused_losses = 0; // stale leaf; fused inner seeded fallback
+  uint64_t lac_wrong_value = 0;  // 1-RTT return failed final audit (== 0!)
 
   SphinxStats& operator+=(const SphinxStats& o);
 };
@@ -95,6 +110,11 @@ inline constexpr metrics::Field<SphinxStats> kSphinxStatsFields[] = {
     {"speculative_losses", &SphinxStats::speculative_losses},
     {"scan_start_successes", &SphinxStats::scan_start_successes},
     {"scan_root_fallbacks", &SphinxStats::scan_root_fallbacks},
+    {"lac_hits", &SphinxStats::lac_hits},
+    {"lac_stale", &SphinxStats::lac_stale},
+    {"lac_fused_wins", &SphinxStats::lac_fused_wins},
+    {"lac_fused_losses", &SphinxStats::lac_fused_losses},
+    {"lac_wrong_value", &SphinxStats::lac_wrong_value},
 };
 
 inline SphinxStats& SphinxStats::operator+=(const SphinxStats& o) {
@@ -107,19 +127,29 @@ class SphinxIndex final : public art::RemoteTree {
   // `filter` is the CN-wide succinct filter cache shared by every worker of
   // this compute node; pass nullptr to run INHT-only (equivalent to
   // use_filter = false). `pec` is the CN-wide prefix entry cache, likewise
-  // shared and likewise optional.
+  // shared and likewise optional, and `lac` is the CN-wide leaf address
+  // cache -- the third tier, same sharing and optionality.
   SphinxIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
               mem::RemoteAllocator& allocator, const SphinxRefs& refs,
               filter::CuckooFilter* filter,
               filter::PrefixEntryCache* pec = nullptr,
+              filter::LeafAddressCache* lac = nullptr,
               const SphinxConfig& config = SphinxConfig());
 
   const char* name() const override { return "Sphinx"; }
+
+  // Point-read fast path: on a LAC hit the leaf is read speculatively (one
+  // round trip, doorbell-fused with a PEC-hinted fallback inner read when
+  // the entry is cold) and validated in hand; misses and stale entries fall
+  // back to the normal SFC/PEC/INHT search. With no LAC installed this is
+  // bit-identical to RemoteTree::search.
+  bool search(Slice key, std::string* value_out) override;
 
   const SphinxStats& sphinx_stats() const { return sstats_; }
   InhtClient& inht() { return inht_; }
   filter::CuckooFilter* filter() { return filter_; }
   filter::PrefixEntryCache* pec() { return pec_; }
+  filter::LeafAddressCache* lac() { return lac_; }
 
  protected:
   bool find_start(const art::TerminatedKey& key, PathEntry* out) override;
@@ -206,6 +236,27 @@ class SphinxIndex final : public art::RemoteTree {
     }
   }
 
+  // A freshly verified key -> leaf binding (point read, write-side leaf
+  // install, scan emit): feed the leaf address cache. The full terminated
+  // key hashes with the same prefix_hash the leaf's MN placement uses.
+  void note_leaf_at(Slice terminated_key, rdma::GlobalAddr addr,
+                    uint32_t units) override {
+    if (lac_ == nullptr) return;
+    endpoint_.advance_local(config_.lac_probe_ns);
+    lac_->insert(art::prefix_hash(terminated_key),
+                 filter::pack_lac_payload(units, addr.to48()));
+  }
+
+  // The key's leaf was retired at the delete's linearization point: purge
+  // the binding, but only if it still names this address (a concurrent
+  // reinsert's refresh with the new leaf address must survive).
+  void note_leaf_retired(Slice terminated_key,
+                         rdma::GlobalAddr addr) override {
+    if (lac_ == nullptr) return;
+    endpoint_.advance_local(config_.lac_probe_ns);
+    lac_->invalidate_if(art::prefix_hash(terminated_key), addr.to48());
+  }
+
  private:
   // Shared body of find_start/find_scan_start: longest verified prefix of
   // `key` no longer than `max_len`, tried filter-first. Bumps the shared
@@ -235,6 +286,7 @@ class SphinxIndex final : public art::RemoteTree {
   InhtClient inht_;
   filter::CuckooFilter* filter_;
   filter::PrefixEntryCache* pec_;
+  filter::LeafAddressCache* lac_;
   SphinxConfig config_;
   SphinxStats sstats_;
   std::vector<uint64_t> hash_scratch_;
@@ -243,6 +295,13 @@ class SphinxIndex final : public art::RemoteTree {
   // fused speculative read (reused across operations; no per-op allocs).
   std::vector<std::array<uint64_t, race::kSlotsPerGroup>> group_scratch_;
   std::array<uint64_t, race::kSlotsPerGroup> fused_group_;
+  // LAC fast-path scratch: the speculative leaf image, and -- when a stale
+  // cold hit's fused inner read validated -- a pending descent start the
+  // immediately following fallback search consumes through find_start(),
+  // making the rescue read free (0 extra RTTs).
+  art::LeafImage lac_leaf_;
+  PathEntry pending_start_;
+  bool have_pending_start_ = false;
 };
 
 }  // namespace sphinx::core

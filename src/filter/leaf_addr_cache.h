@@ -1,0 +1,153 @@
+// Leaf Address Cache (LAC): the third CN-wide cache tier next to the
+// succinct filter cache and the prefix entry cache. Where the PEC maps a
+// *prefix* hash to an inner node's INHT payload (3 RTTs -> 2), the LAC maps
+// a *full-key* hash straight to the leaf's address and size, letting a warm
+// point read skip address resolution entirely: one speculative leaf read is
+// the whole operation (2 RTTs -> 1).
+//
+// Coherence is by validation, not invalidation messages: the cached
+// {units, address} pair is only a *hint*, and the fetched leaf is verified
+// exactly as a descent-found leaf would be -- unit count against the
+// header, CRC revalidation, non-Invalid status, and a byte-exact compare of
+// the stored terminated key against the searched key. That last compare is
+// the same guard that makes point descents immune to recycled blocks
+// (remote_tree.cpp, frontier linkage notes), so a stale or ABA-recycled
+// address can cost a wasted read but never a wrong answer. Stale entries
+// are purged via invalidate_if() keyed on the address, so a concurrent
+// refresh with the key's new leaf address is never dropped.
+//
+// Entries are populated on every successful point read, write-side leaf
+// install, and scan leaf visit; retired leaves (remove / out-of-place
+// update) purge their entry at the linearization point. Linked leaves are
+// never recycled (retirement releases accounting only, see DESIGN.md), so
+// an entry can go stale -- the leaf turns Invalid or the key moves to a new
+// block -- but the address itself can never be reused for unrelated bytes
+// that still pass the key compare.
+//
+// Unlike the PEC's {tag, payload} atomic pair, a LAC slot is a single
+// 8-byte word: tag(9) | hot(1) | units(6) | addr(48). The hot set a point
+// workload touches is much larger than the set of hot *prefixes*, so the
+// LAC buys entry density with a short tag -- a false tag match costs one
+// wasted speculative read (caught by the key compare and purged), at a
+// ~1/512 rate, while doubling how many leaf bindings fit in the budget.
+// One-word slots also make every transition a single CAS: no torn pairs
+// exist at all. Eviction keeps the paper's hotness-bit second-chance
+// policy, shared by all workers of one compute node.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/hash.h"
+
+namespace sphinx::filter {
+
+struct LeafAddrCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      // second-chance / rotation replacements
+  uint64_t invalidations = 0;  // stale entries purged after validation
+};
+
+// Caller-visible payload layout: units<<48 | addr48. Leaf unit counts are
+// six bits (pack_leaf_slot asserts units < 64), so the packed value spans
+// 54 bits, leaving the slot word's top ten for the tag and hot bit.
+inline constexpr uint64_t kLacAddrMask = (1ULL << 48) - 1;
+
+inline uint64_t pack_lac_payload(uint32_t units, uint64_t addr48) {
+  return (static_cast<uint64_t>(units) << 48) | (addr48 & kLacAddrMask);
+}
+inline uint32_t lac_payload_units(uint64_t payload) {
+  return static_cast<uint32_t>((payload >> 48) & 0x3f);
+}
+inline uint64_t lac_payload_addr48(uint64_t payload) {
+  return payload & kLacAddrMask;
+}
+
+class LeafAddressCache {
+ public:
+  static constexpr uint32_t kWays = 4;        // slots per set
+  static constexpr uint64_t kSlotBytes = 8;   // one packed word
+  static constexpr uint64_t kAddrMask = kLacAddrMask;
+
+  // Slot word layout (0 = empty slot).
+  static constexpr uint32_t kTagShift = 55;   // [63:55] 9-bit tag, nonzero
+  static constexpr uint64_t kHotBit = 1ULL << 54;
+  static constexpr uint64_t kPayloadMask = kHotBit - 1;  // units | addr
+
+  // Sizes the cache to approximately `budget_bytes` of slot storage
+  // (rounded down to a power-of-two set count, like the other two tiers).
+  static std::unique_ptr<LeafAddressCache> with_budget(uint64_t budget_bytes);
+
+  // `num_sets` is rounded up to a power of two.
+  explicit LeafAddressCache(uint64_t num_sets);
+
+  // Looks up `key_hash` (full terminated-key hash). On a hit stores the
+  // cached {units, addr} payload in *payload_out and the *pre-lookup*
+  // hotness in *was_hot, then marks the entry hot. Cold hits are
+  // low-confidence: the entry was not recently validated, so callers hedge
+  // the speculative leaf read with a fused fallback read.
+  bool lookup(uint64_t key_hash, uint64_t* payload_out, bool* was_hot);
+
+  // Upserts `key_hash -> payload` (payload must fit kPayloadMask, which
+  // pack_lac_payload guarantees: 54 significant bits). An existing entry
+  // for the hash is replaced in place -- an out-of-place update moved the
+  // key to a new block -- keeping its hotness; new entries start cold.
+  // Under pressure a random cold victim is replaced (second chance); when
+  // every way is hot, all hotness in the set is cleared and a rotating
+  // victim is evicted.
+  void insert(uint64_t key_hash, uint64_t payload);
+
+  // Purges the entry for `key_hash` only if it still points at `addr48` --
+  // a concurrent refresh with the key's new leaf address must not be
+  // dropped. Returns true when a slot was cleared.
+  bool invalidate_if(uint64_t key_hash, uint64_t addr48);
+
+  uint64_t num_sets() const { return num_sets_; }
+  uint64_t capacity() const { return num_sets_ * kWays; }
+  uint64_t memory_bytes() const { return capacity() * kSlotBytes; }
+
+  // Approximate number of live entries.
+  uint64_t size() const;
+
+  LeafAddrCacheStats stats() const;
+  void reset_stats();
+
+ private:
+  // Tag bits come from the hash's high end (set_index consumes remixed low
+  // bits); 0 would collide with the empty-slot sentinel, so it remaps to 1
+  // (the same trick the cuckoo filter plays with fingerprint 0).
+  static uint64_t tag_of(uint64_t hash) {
+    const uint64_t t = hash >> kTagShift;
+    return (t == 0 ? 1 : t) << kTagShift;
+  }
+  static uint64_t word_tag(uint64_t word) {
+    return word >> kTagShift << kTagShift;
+  }
+  uint64_t set_index(uint64_t hash) const {
+    // Remix so the set index is independent of the bits the cuckoo filter
+    // and the consistent-hash ring consume.
+    return splitmix64(hash) & (num_sets_ - 1);
+  }
+  std::atomic<uint64_t>* set_of(uint64_t index) {
+    return slots_.get() + index * kWays;
+  }
+  const std::atomic<uint64_t>* set_of(uint64_t index) const {
+    return slots_.get() + index * kWays;
+  }
+  uint64_t next_random();
+
+  uint64_t num_sets_;  // power of two
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+  std::atomic<uint64_t> rng_state_{0x9e3779b97f4a7c15ULL};
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace sphinx::filter

@@ -26,6 +26,7 @@ enum class Phase : uint8_t {
   kInnerRead,         // ART/B+tree inner-node fetches
   kInnerWrite,        // inner-node installs, slot CASes, type switches
   kLeafRead,          // leaf fetches
+  kLacFusedRead,      // LAC-hinted speculative leaf read (+ fused fallback)
   kLeafWrite,         // leaf payload writes / invalidations
   kLock,              // lock acquire/release words
   kScanFrontier,      // range-scan frontier batches
@@ -46,6 +47,7 @@ inline const char* phase_name(Phase p) {
     case Phase::kInnerRead: return "inner_read";
     case Phase::kInnerWrite: return "inner_write";
     case Phase::kLeafRead: return "leaf_read";
+    case Phase::kLacFusedRead: return "lac_fused_read";
     case Phase::kLeafWrite: return "leaf_write";
     case Phase::kLock: return "lock";
     case Phase::kScanFrontier: return "scan_frontier";

@@ -25,7 +25,8 @@ const char* system_kind_name(SystemKind kind) {
 
 SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
                          uint64_t cache_budget_bytes,
-                         uint64_t pec_budget_bytes)
+                         uint64_t pec_budget_bytes,
+                         uint64_t lac_budget_bytes)
     : kind_(kind), cluster_(cluster), name_(system_kind_name(kind)) {
   const uint32_t num_cns = cluster.config().num_cns;
   switch (kind) {
@@ -33,21 +34,29 @@ SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
       sphinx_refs_ = std::make_unique<core::SphinxRefs>(
           core::create_sphinx(cluster));
       tree_ref_ = sphinx_refs_->tree;
-      // Split one CN cache budget across the two tiers: by default the
-      // filter keeps 70%, the prefix entry cache takes 25%, and ~5% stays
-      // reserved for the INHT directory caches (the paper sizes those at
-      // 2-5% of the filter budget). With the PEC disabled the filter gets
-      // its original 95% share, reproducing the seed configuration.
+      // Split one CN cache budget across the three tiers: by default the
+      // filter keeps 45%, the prefix entry cache takes 25%, the leaf
+      // address cache takes 25%, and ~5% stays reserved for the INHT
+      // directory caches (the paper sizes those at 2-5% of the filter
+      // budget). Each cache's slice returns to the filter when that tier
+      // is disabled, so --no-lac reproduces the pre-LAC 70/25 split (and
+      // --no-lac --no-pec the seed's 95%) bit for bit.
       const uint64_t pec_bytes = pec_budget_bytes == kAutoPecBudget
                                      ? cache_budget_bytes * 25 / 100
                                      : pec_budget_bytes;
-      const uint64_t filter_bytes = pec_bytes == 0
-                                        ? cache_budget_bytes * 95 / 100
-                                        : cache_budget_bytes * 70 / 100;
+      const uint64_t lac_bytes = lac_budget_bytes == kAutoLacBudget
+                                     ? cache_budget_bytes * 25 / 100
+                                     : lac_budget_bytes;
+      const uint64_t filter_share =
+          95 - (pec_bytes > 0 ? 25 : 0) - (lac_bytes > 0 ? 25 : 0);
+      const uint64_t filter_bytes = cache_budget_bytes * filter_share / 100;
       for (uint32_t cn = 0; cn < num_cns; ++cn) {
         filters_.push_back(filter::CuckooFilter::with_budget(filter_bytes));
         if (pec_bytes > 0) {
           pecs_.push_back(filter::PrefixEntryCache::with_budget(pec_bytes));
+        }
+        if (lac_bytes > 0) {
+          lacs_.push_back(filter::LeafAddressCache::with_budget(lac_bytes));
         }
       }
       break;
@@ -57,11 +66,16 @@ SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
           core::create_sphinx(cluster));
       tree_ref_ = sphinx_refs_->tree;
       // Auto means "pure INHT" here (the A1 ablation baseline); an explicit
-      // budget yields the PEC-only variant of the two-tier ablation.
+      // budget yields the PEC-only (or PEC+LAC) variant of the ablation.
       const uint64_t pec_bytes =
           pec_budget_bytes == kAutoPecBudget ? 0 : pec_budget_bytes;
+      const uint64_t lac_bytes =
+          lac_budget_bytes == kAutoLacBudget ? 0 : lac_budget_bytes;
       for (uint32_t cn = 0; cn < num_cns && pec_bytes > 0; ++cn) {
         pecs_.push_back(filter::PrefixEntryCache::with_budget(pec_bytes));
+      }
+      for (uint32_t cn = 0; cn < num_cns && lac_bytes > 0; ++cn) {
+        lacs_.push_back(filter::LeafAddressCache::with_budget(lac_bytes));
       }
       break;
     }
@@ -90,7 +104,7 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
       config.tree.scan_jump = scan_jump_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get(),
-          pec(cn), config);
+          pec(cn), lac(cn), config);
     }
     case SystemKind::kSphinxNoFilter: {
       core::SphinxConfig config;
@@ -98,7 +112,7 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
       config.tree.scan_jump = scan_jump_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, nullptr, pec(cn),
-          config);
+          lac(cn), config);
     }
     case SystemKind::kSmart:
     case SystemKind::kSmartC:
@@ -130,6 +144,9 @@ uint64_t SystemSetup::cn_cache_bytes(uint32_t cn) const {
   }
   if (cn < pecs_.size() && pecs_[cn]) {
     total += pecs_[cn]->memory_bytes();
+  }
+  if (cn < lacs_.size() && lacs_[cn]) {
+    total += lacs_[cn]->memory_bytes();
   }
   if (cn < caches_.size() && caches_[cn]) {
     total += caches_[cn]->bytes_used();

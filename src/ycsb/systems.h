@@ -11,6 +11,7 @@
 #include "bptree/bptree.h"
 #include "core/sphinx_index.h"
 #include "filter/cuckoo_filter.h"
+#include "filter/leaf_addr_cache.h"
 #include "filter/prefix_entry_cache.h"
 #include "smart/node_cache.h"
 #include "ycsb/runner.h"
@@ -37,6 +38,11 @@ constexpr uint64_t kPaperDatasetKeys = 60'000'000;      // paper: 60 M keys
 // entry cache share out of the overall CN cache budget (Sphinx only).
 constexpr uint64_t kAutoPecBudget = ~0ull;
 
+// Same idiom for lac_budget_bytes: carve the default leaf address cache
+// share out of the overall CN cache budget (Sphinx only; the NoFilter
+// ablation keeps auto = off so A1 stays a pure INHT baseline).
+constexpr uint64_t kAutoLacBudget = ~0ull;
+
 // Scales the paper's absolute CN-side cache budget to a scaled-down
 // dataset. The paper pairs 20 MB caches with 60 M keys (4.2% of the u64
 // key bytes, 1.8% of email); keeping that *ratio* preserves the regime the
@@ -53,14 +59,19 @@ class SystemSetup {
   // Creates the remote structures for `kind` on `cluster` and the per-CN
   // shared caches sized to `cache_budget_bytes`. `pec_budget_bytes`
   // controls the Sphinx prefix entry cache: kAutoPecBudget takes the
-  // default 25% slice of the overall budget (Sphinx keeps 70% for the
-  // filter, 5% stays reserved for INHT directory caches), 0 disables the
-  // PEC (the seed SFC-only configuration), and any other value is an
-  // absolute byte budget -- e.g. the PEC-only ablation passes the whole
-  // cache budget here with kind = kSphinxNoFilter.
+  // default 25% slice of the overall budget (5% stays reserved for INHT
+  // directory caches), 0 disables the PEC (the seed SFC-only
+  // configuration), and any other value is an absolute byte budget --
+  // e.g. the PEC-only ablation passes the whole cache budget here with
+  // kind = kSphinxNoFilter. `lac_budget_bytes` controls the leaf address
+  // cache the same way: kAutoLacBudget takes a 25% slice, 0 disables the
+  // LAC (pre-LAC behavior bit for bit), any other value is absolute. The
+  // filter keeps whatever the enabled tiers leave (45% with all three,
+  // 70% pre-LAC, 95% seed).
   SystemSetup(SystemKind kind, mem::Cluster& cluster,
               uint64_t cache_budget_bytes = kDefaultCacheBudget,
-              uint64_t pec_budget_bytes = kAutoPecBudget);
+              uint64_t pec_budget_bytes = kAutoPecBudget,
+              uint64_t lac_budget_bytes = kAutoLacBudget);
 
   const std::string& name() const { return name_; }
   SystemKind kind() const { return kind_; }
@@ -85,6 +96,9 @@ class SystemSetup {
   filter::PrefixEntryCache* pec(uint32_t cn) {
     return cn < pecs_.size() ? pecs_[cn].get() : nullptr;
   }
+  filter::LeafAddressCache* lac(uint32_t cn) {
+    return cn < lacs_.size() ? lacs_[cn].get() : nullptr;
+  }
   smart::NodeCache* node_cache(uint32_t cn) {
     return cn < caches_.size() ? caches_[cn].get() : nullptr;
   }
@@ -104,6 +118,7 @@ class SystemSetup {
   std::unique_ptr<core::SphinxRefs> sphinx_refs_;
   std::vector<std::unique_ptr<filter::CuckooFilter>> filters_;      // per CN
   std::vector<std::unique_ptr<filter::PrefixEntryCache>> pecs_;     // per CN
+  std::vector<std::unique_ptr<filter::LeafAddressCache>> lacs_;     // per CN
   std::vector<std::unique_ptr<smart::NodeCache>> caches_;           // per CN
 };
 

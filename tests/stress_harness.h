@@ -67,6 +67,10 @@ struct StressOptions {
   // Sphinx prefix entry cache budget (kAutoPecBudget = default 25% carve,
   // 0 = disabled); see ycsb::SystemSetup.
   uint64_t pec_budget = ycsb::kAutoPecBudget;
+  // Sphinx leaf address cache budget (kAutoLacBudget = default 25% carve,
+  // 0 = disabled). The default keeps the LAC in every Sphinx stress mix so
+  // the speculative-read path soaks under the same schedules as the rest.
+  uint64_t lac_budget = ycsb::kAutoLacBudget;
 };
 
 struct StressReport {
@@ -87,6 +91,14 @@ struct StressReport {
   // purged or refreshed every entry it touched, so a coherent PEC yields 0
   // here -- stale entries self-heal instead of festering.
   uint64_t pec_second_pass_stale = 0;
+  // Leaf-address-cache traffic, same discipline as the PEC counters.
+  // lac_wrong_value is the tripwire: a speculative leaf read that passed
+  // validation but would have returned bytes for the wrong key. Any
+  // nonzero count is a coherence bug (clean() fails on it).
+  uint64_t lac_hits = 0;
+  uint64_t lac_stale = 0;
+  uint64_t lac_wrong_value = 0;
+  uint64_t lac_second_pass_stale = 0;
   // Crash-tolerance accounting: injected client deaths, post-crash reads
   // that observed a state outside the crashed op's acceptable set (old xor
   // new -- a torn or lost-ack outcome), mutations that honestly exhausted
@@ -101,7 +113,7 @@ struct StressReport {
   bool clean() const {
     return lin_violations == 0 && scan_order_violations == 0 &&
            oracle_mismatches == 0 && failed_ops == 0 &&
-           crash_resolve_violations == 0;
+           crash_resolve_violations == 0 && lac_wrong_value == 0;
   }
 };
 
@@ -111,7 +123,7 @@ class StressHarness {
       : options_(options),
         cluster_(make_test_cluster()),
         setup_(options.kind, *cluster_, ycsb::kDefaultCacheBudget,
-               options.pec_budget),
+               options.pec_budget, options.lac_budget),
         injector_(options.seed),
         lin_count_(static_cast<size_t>(options.threads) *
                    static_cast<size_t>(options.lin_keys_per_thread)),
@@ -166,6 +178,8 @@ class StressHarness {
     report.pec_stale = pec_stale_.load();
     report.speculative_wins = spec_wins_.load();
     report.speculative_losses = spec_losses_.load();
+    report.lac_hits = lac_hits_.load();
+    report.lac_stale = lac_stale_.load();
     report.client_crashes = crashes_.load();
     report.crash_timeouts = crash_timeouts_.load();
     verify_quiesced(oracles, &report);
@@ -173,6 +187,8 @@ class StressHarness {
     // locks that only the verifier's reads reclaim, and its client stats
     // are salvaged into recovery_ like any other incarnation's.
     report.crash_resolve_violations = crash_resolve_violations_.load();
+    // After verify_quiesced so the verifier's own reads are audited too.
+    report.lac_wrong_value = lac_wrong_value_.load();
     {
       std::lock_guard<std::mutex> lock(recovery_mu_);
       report.recovery = recovery_;
@@ -276,6 +292,9 @@ class StressHarness {
       pec_stale_.fetch_add(sx->sphinx_stats().pec_stale);
       spec_wins_.fetch_add(sx->sphinx_stats().speculative_wins);
       spec_losses_.fetch_add(sx->sphinx_stats().speculative_losses);
+      lac_hits_.fetch_add(sx->sphinx_stats().lac_hits);
+      lac_stale_.fetch_add(sx->sphinx_stats().lac_stale);
+      lac_wrong_value_.fetch_add(sx->sphinx_stats().lac_wrong_value);
     }
     std::lock_guard<std::mutex> lock(recovery_mu_);
     if (const auto* tree = dynamic_cast<art::RemoteTree*>(index)) {
@@ -550,11 +569,13 @@ class StressHarness {
       }
     }
 
-    // PEC self-heal: the pass above purged or refreshed every stale entry
-    // it touched (validation failure -> invalidate_if -> re-adopt), so
-    // re-reading the same keys must observe zero new staleness.
+    // Cache self-heal: the pass above purged or refreshed every stale PEC
+    // and LAC entry it touched (validation failure -> invalidate_if ->
+    // re-adopt / repopulate), so re-reading the same keys must observe
+    // zero new staleness in either tier.
     if (auto* sx = dynamic_cast<core::SphinxIndex*>(verifier.get())) {
-      const uint64_t stale_before = sx->sphinx_stats().pec_stale;
+      const uint64_t pec_stale_before = sx->sphinx_stats().pec_stale;
+      const uint64_t lac_stale_before = sx->sphinx_stats().lac_stale;
       for (int t = 0; t < options_.threads; ++t) {
         for (int i = 0; i < options_.lin_keys_per_thread; ++i) {
           verifier->search(lin_key(t, i), &v);
@@ -564,7 +585,9 @@ class StressHarness {
         }
       }
       report->pec_second_pass_stale =
-          sx->sphinx_stats().pec_stale - stale_before;
+          sx->sphinx_stats().pec_stale - pec_stale_before;
+      report->lac_second_pass_stale =
+          sx->sphinx_stats().lac_stale - lac_stale_before;
     }
     salvage_client_stats(verifier.get());
   }
@@ -578,11 +601,14 @@ class StressHarness {
   // Indexed by lin_slot(); written by each key's single owner, read by all.
   std::vector<std::atomic<int64_t>> started_;
   std::vector<std::atomic<int64_t>> completed_;
-  // Per-worker Sphinx PEC stats, summed as each worker retires.
+  // Per-worker Sphinx PEC/LAC stats, summed as each worker retires.
   std::atomic<uint64_t> pec_hits_{0};
   std::atomic<uint64_t> pec_stale_{0};
   std::atomic<uint64_t> spec_wins_{0};
   std::atomic<uint64_t> spec_losses_{0};
+  std::atomic<uint64_t> lac_hits_{0};
+  std::atomic<uint64_t> lac_stale_{0};
+  std::atomic<uint64_t> lac_wrong_value_{0};
   // Crash-tolerance accounting (see StressReport).
   std::atomic<uint64_t> crashes_{0};
   std::atomic<uint64_t> crash_resolve_violations_{0};

@@ -476,7 +476,7 @@ TEST(FaultInjection, InjectedInhtFailuresDriveSphinxRetryPaths) {
   rdma::Endpoint ep2(cluster->fabric(), 0, true);
   mem::RemoteAllocator alloc2(*cluster, ep2);
   core::SphinxIndex bare(*cluster, ep2, alloc2, *setup.sphinx_refs(),
-                         setup.filter(0), nullptr, no_pec);
+                         setup.filter(0), nullptr, nullptr, no_pec);
   for (const std::string& k : keys) {
     ASSERT_TRUE(bare.search(k, &v)) << k;
     EXPECT_EQ(v, "v:" + k);

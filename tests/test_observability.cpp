@@ -163,7 +163,7 @@ TEST(Attribution, SumsToRoundTripsForEverySystemAndWorkload) {
     ycsb::SystemSetup setup(kind, *cluster, 1 << 20);
     ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
     runner.load(2000, 64, 4);
-    for (char w : {'A', 'C', 'E'}) {
+    for (char w : {'A', 'B', 'C', 'E'}) {
       ycsb::RunOptions options;
       options.workers = 6;
       options.ops_per_worker = w == 'E' ? 30 : 80;
@@ -183,6 +183,59 @@ TEST(Attribution, SumsToRoundTripsForEverySystemAndWorkload) {
           << setup.name() << " " << w;
     }
   }
+}
+
+// ---- LAC off == pre-LAC behavior ------------------------------------------------
+
+TEST(Attribution, NoLacRunIsPreLacBitForBit) {
+  // With the leaf address cache disabled (--no-lac), Sphinx must behave
+  // exactly as it did before the LAC existed: the filter gets its pre-LAC
+  // 70% budget share back, no round trip is ever tagged with the LAC's
+  // fused-read phase, and a fixed-seed single-worker run is deterministic.
+  const uint64_t budget = 1 << 20;
+  const auto keys = ycsb::generate_u64_keys(2000, 1);
+  auto run_once = [&](uint64_t lac_budget) {
+    auto cluster = testing::make_test_cluster(64ull << 20);
+    ycsb::SystemSetup setup(ycsb::SystemKind::kSphinx, *cluster, budget,
+                            ycsb::kAutoPecBudget, lac_budget);
+    if (lac_budget == 0) {
+      EXPECT_EQ(setup.lac(0), nullptr);
+      // The LAC's 25% slice returns to the filter: same sizing as the
+      // pre-LAC 70/25 split, byte for byte.
+      const auto pre_lac_filter =
+          filter::CuckooFilter::with_budget(budget * 70 / 100);
+      EXPECT_EQ(setup.filter(0)->memory_bytes(),
+                pre_lac_filter->memory_bytes());
+    } else {
+      EXPECT_NE(setup.lac(0), nullptr);
+    }
+    ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
+    runner.load(1500, 64, /*workers=*/1);
+    ycsb::RunOptions options;
+    options.workers = 1;
+    options.ops_per_worker = 200;
+    options.seed = 23;
+    return runner.run(ycsb::standard_workload('C'), options);
+  };
+
+  const ycsb::RunResult off_a = run_once(0);
+  const ycsb::RunResult off_b = run_once(0);
+  EXPECT_EQ(off_a.net.round_trips, off_b.net.round_trips);
+  EXPECT_EQ(off_a.net.bytes_total(), off_b.net.bytes_total());
+  EXPECT_EQ(off_a.net.messages, off_b.net.messages);
+  EXPECT_DOUBLE_EQ(off_a.ops_per_sec, off_b.ops_per_sec);
+  EXPECT_DOUBLE_EQ(off_a.sim_seconds, off_b.sim_seconds);
+  // Not one round trip or byte on the LAC phase: the fast path is
+  // compiled out of the run, not merely losing its lookups.
+  const auto lac_phase = static_cast<size_t>(rdma::Phase::kLacFusedRead);
+  EXPECT_EQ(off_a.net.rtts_by_phase[lac_phase], 0u);
+  EXPECT_EQ(off_a.net.bytes_by_phase[lac_phase], 0u);
+
+  // The zero check is not vacuous: the same run with the LAC enabled does
+  // route warm reads through the fused phase, and saves round trips.
+  const ycsb::RunResult on = run_once(ycsb::kAutoLacBudget);
+  EXPECT_GT(on.net.rtts_by_phase[lac_phase], 0u);
+  EXPECT_LT(on.net.round_trips, off_a.net.round_trips);
 }
 
 // ---- runner honesty: insert failures --------------------------------------------
@@ -421,7 +474,8 @@ TEST(Trace, TracingChangesNoStatsOrClocks) {
   for (const rdma::TraceEvent& e : rec.events()) {
     const std::string name(e.name);
     if (name.rfind("op:", 0) == 0) saw_op = true;
-    if (name == "pec_validate" || name == "leaf_read" || name == "inht_read") {
+    if (name == "pec_validate" || name == "leaf_read" || name == "inht_read" ||
+        name == "lac_fused_read") {
       saw_phase = true;
     }
     EXPECT_NE(name, "unattributed");

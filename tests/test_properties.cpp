@@ -232,6 +232,11 @@ TEST(CapacityModel, UnsaturatedPhaseScalesLinearly) {
     options.ops_per_worker = 300;
     return runner.run(ycsb::standard_workload('C'), options);
   };
+  // Warm the CN caches first: the runs share the CN-wide SFC/PEC/LAC, so
+  // without a warmup the first measured run pays the cold-cache round
+  // trips and the second rides warm bindings, skewing the ratio above the
+  // pure worker-count scaling this test is about.
+  run_with(12);
   const ycsb::RunResult a = run_with(3);
   const ycsb::RunResult b = run_with(12);
   ASSERT_LT(b.nic_utilization, 0.9);

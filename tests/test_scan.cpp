@@ -401,7 +401,7 @@ TEST_F(SphinxScanTest, JumpOnAndOffProduceIdenticalResults) {
   rdma::Endpoint ep2(cluster_->fabric(), 1, true);
   mem::RemoteAllocator alloc2(*cluster_, ep2);
   core::SphinxIndex plain(*cluster_, ep2, alloc2, refs_, filter_.get(),
-                          nullptr, no_jump);
+                          nullptr, nullptr, no_jump);
 
   Rng rng(0xab);
   KvList a, b;

@@ -205,7 +205,7 @@ TEST_F(SphinxTest, StaleColdPecEntryCostsNoExtraRoundTrip) {
   bare_config.use_filter = false;
   rdma::Endpoint ep_c(cluster_->fabric(), 1, true);
   mem::RemoteAllocator alloc_c(*cluster_, ep_c);
-  SphinxIndex grower(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr,
+  SphinxIndex grower(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr, nullptr,
                      bare_config);
   for (char c = 'C'; c <= 'J'; ++c) {
     ASSERT_TRUE(grower.insert(std::string("fusepfx:") + c + "rest", "vg"));
@@ -266,7 +266,7 @@ TEST_F(SphinxTest, PecStaleEntriesSelfHealAfterTypeSwitches) {
   bare_config.use_filter = false;
   rdma::Endpoint ep_c(cluster_->fabric(), 1, true);
   mem::RemoteAllocator alloc_c(*cluster_, ep_c);
-  SphinxIndex churner(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr,
+  SphinxIndex churner(*cluster_, ep_c, alloc_c, refs_, nullptr, nullptr, nullptr,
                       bare_config);
   for (int p = 0; p < 20; ++p) {
     for (char c = 'c'; c <= 'j'; ++c) {
@@ -350,7 +350,7 @@ TEST_F(SphinxTest, NoFilterModeWorks) {
   config.use_filter = false;
   rdma::Endpoint ep2(cluster_->fabric(), 1, true);
   mem::RemoteAllocator alloc2(*cluster_, ep2);
-  SphinxIndex nofilter(*cluster_, ep2, alloc2, refs_, nullptr, nullptr,
+  SphinxIndex nofilter(*cluster_, ep2, alloc2, refs_, nullptr, nullptr, nullptr,
                        config);
   for (int i = 0; i < 300; ++i) {
     ASSERT_TRUE(nofilter.insert("nf" + std::to_string(i), "v"));
@@ -375,7 +375,7 @@ TEST_F(SphinxTest, InhtTracksCreatedInnerNodes) {
   config.use_filter = false;
   rdma::Endpoint ep2(cluster_->fabric(), 2, true);
   mem::RemoteAllocator alloc2(*cluster_, ep2);
-  SphinxIndex peer(*cluster_, ep2, alloc2, refs_, nullptr, nullptr, config);
+  SphinxIndex peer(*cluster_, ep2, alloc2, refs_, nullptr, nullptr, nullptr, config);
   std::string v;
   for (const auto& k : keys) {
     ASSERT_TRUE(peer.search(k, &v)) << k;

@@ -22,6 +22,9 @@ void expect_clean(const StressReport& report) {
   EXPECT_EQ(report.oracle_mismatches, 0u);
   EXPECT_EQ(report.failed_ops, 0u);
   EXPECT_EQ(report.crash_resolve_violations, 0u);
+  // A speculative leaf read may be wasted, never wrong: nonzero means the
+  // LAC's validate gate passed bytes for the wrong key through.
+  EXPECT_EQ(report.lac_wrong_value, 0u);
 }
 
 StressOptions base_options(ycsb::SystemKind kind) {
@@ -101,6 +104,61 @@ TEST(Stress, SphinxPecDisabledMatchesSeedBehavior) {
   expect_clean(report);
   EXPECT_EQ(report.pec_hits, 0u);
   EXPECT_EQ(report.pec_stale, 0u);
+}
+
+TEST(Stress, SphinxLacCoherenceUnderChurnAndFaults) {
+  // The leaf address cache under a lookup-vs-split/delete mutator mix with
+  // injected CAS losses and stalls: cross-stripe readers keep hitting
+  // bindings whose leaves the owners concurrently remove, reinsert, and
+  // grow out of place. Requirements: (a) zero wrong-value returns -- a
+  // stale or recycled address may cost a wasted read, never wrong bytes
+  // (expect_clean checks lac_wrong_value); (b) staleness was actually
+  // exercised AND self-heals -- the quiesced second pass over every key
+  // observes zero new stale hits, because the first pass purged or
+  // refreshed every binding it touched.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;  // deeper stripes -> more splits
+  options.ops_per_thread = 2500;
+  options.faults = true;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.lac_hits, 0u);
+  EXPECT_GT(report.lac_stale, 0u);  // the mix really invalidated bindings
+  EXPECT_EQ(report.lac_second_pass_stale, 0u);
+}
+
+TEST(Stress, SphinxLacDisabledMatchesPreLacBehavior) {
+  // lac_budget = 0 reproduces the two-tier SFC+PEC configuration: still
+  // clean under faults, with zero LAC traffic on any path.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.lac_budget = 0;
+  options.faults = true;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_EQ(report.lac_hits, 0u);
+  EXPECT_EQ(report.lac_stale, 0u);
+}
+
+TEST(Stress, SphinxLacNeverResurrectsRecycledBlocks) {
+  // The ABA scenario: injected CAS losses make insert paths allocate a
+  // leaf, lose the install race, and free the block to the client-local
+  // freelist, where the very next insert recycles it for a different key.
+  // Remove-heavy churn meanwhile retires linked leaves (tombstoned, never
+  // recycled) while readers still hold LAC bindings to them. If the LAC
+  // ever resurrected a freed-and-reused address as a hit for the old key,
+  // the byte-exact key compare is the last line of defense -- and the
+  // audit counter (lac_wrong_value, checked by expect_clean) proves even
+  // that line was never reached wrongly. Crashes are layered in so
+  // abandoned allocations and orphaned locks join the recycling traffic.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;
+  options.ops_per_thread = 2500;
+  options.faults = true;  // kCasFail drives failed-CAS freelist cleanup
+  options.crash_rate = 0.002;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.fault_stats.cas_failures, 0u);  // recycling really ran
+  EXPECT_GT(report.lac_hits, 0u);
 }
 
 TEST(Stress, SphinxSurvivesMnOutageBursts) {

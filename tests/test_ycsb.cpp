@@ -63,6 +63,10 @@ TEST(Workload, StandardMixes) {
   const WorkloadSpec a = standard_workload('A');
   EXPECT_DOUBLE_EQ(a.read, 0.5);
   EXPECT_DOUBLE_EQ(a.update, 0.5);
+  const WorkloadSpec b = standard_workload('B');
+  EXPECT_DOUBLE_EQ(b.read, 0.95);
+  EXPECT_DOUBLE_EQ(b.update, 0.05);
+  EXPECT_DOUBLE_EQ(b.insert, 0.0);
   const WorkloadSpec d = standard_workload('D');
   EXPECT_EQ(d.dist, RequestDist::kLatest);
   EXPECT_DOUBLE_EQ(d.insert, 0.05);
@@ -95,6 +99,35 @@ TEST(Runner, LoadThenReadBack) {
   EXPECT_GT(result.net.round_trips, 0u);
   EXPECT_GT(result.latency.count(), 0u);
   EXPECT_GT(result.rtts_per_op, 1.0);
+}
+
+// YCSB-B oracle: 95/5 read/update over the loaded set only. No inserts
+// means the visible set must not grow and no read may miss; the 5% update
+// slice must make B strictly costlier in round trips than read-only C on
+// an identical setup, but far closer to C than to update-heavy A.
+TEST(Runner, WorkloadBIsReadMostlyWithUpdates) {
+  auto run_workload = [](char w) {
+    auto cluster = testing::make_test_cluster();
+    SystemSetup setup(SystemKind::kSphinx, *cluster);
+    YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(5000, 9));
+    runner.load(4000, 64);
+    RunOptions options;
+    options.workers = 6;
+    options.ops_per_worker = 500;
+    options.seed = 17;
+    return runner.run(standard_workload(w), options);
+  };
+  const RunResult b = run_workload('B');
+  EXPECT_EQ(b.total_ops, 3000u);
+  EXPECT_EQ(b.misses, 0u);           // reads and updates hit loaded keys only
+  EXPECT_EQ(b.insert_overflow, 0u);  // no insert slice at all
+  // Every round trip carries exactly one phase tag, updates included.
+  EXPECT_EQ(b.net.rtts_sum_by_phase(), b.net.round_trips);
+
+  const RunResult c = run_workload('C');
+  const RunResult a = run_workload('A');
+  EXPECT_GT(b.net.round_trips, c.net.round_trips);
+  EXPECT_LT(b.rtts_per_op - c.rtts_per_op, a.rtts_per_op - b.rtts_per_op);
 }
 
 TEST(Runner, InsertWorkloadGrowsVisibleSet) {

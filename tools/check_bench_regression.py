@@ -11,6 +11,9 @@ Checks, per (system, dataset, workload) record:
   * loss counters are zero: scan_subtree_skips, scan_leaf_drops,
     scan_truncated_ops, insert_failures. These count silently dropped or
     failed work; CI runs fault-free, where any nonzero value is a bug.
+    lac_wrong_value is also checked: a leaf-address-cache speculative read
+    that returned a wrong value past validation is a correctness bug in
+    ANY run, faulted or not.
   * phase attribution sums exactly to round_trips (when phase_rtts present).
   * every seed record still exists in the current run (a missing system or
     workload is a silent coverage loss, not a pass).
@@ -30,6 +33,7 @@ LOSS_COUNTERS = (
     "scan_leaf_drops",
     "scan_truncated_ops",
     "insert_failures",
+    "lac_wrong_value",
 )
 
 

@@ -110,6 +110,8 @@ class RemoteTree : public KvIndex {
 
   const TreeStats& tree_stats() const { return stats_; }
   rdma::Endpoint& endpoint() { return endpoint_; }
+  // Batch completion stamps ride the owning endpoint's virtual clock.
+  uint64_t client_clock_ns() const override { return endpoint_.clock_ns(); }
 
  protected:
   struct PathEntry {

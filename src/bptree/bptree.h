@@ -79,6 +79,9 @@ class BpTreeIndex final : public KvIndex {
       Slice low_key, Slice high_key, size_t max_results,
       std::vector<std::pair<std::string, std::string>>* out) override;
   const char* name() const override { return "BplusTree"; }
+  // Batch completion stamps ride the owning endpoint's virtual clock (the
+  // B+ tree keeps the inherited serial execute_batch loop).
+  uint64_t client_clock_ns() const override { return endpoint_.clock_ns(); }
 
   const BpTreeStats& stats() const { return stats_; }
 

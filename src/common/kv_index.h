@@ -12,6 +12,27 @@
 
 namespace sphinx {
 
+// One point operation inside a pipelined batch (KvIndex::execute_batch).
+// `ok` carries exactly the value the serial entry point (search/insert/
+// update/remove) would have returned; `done` flips once that outcome is
+// decided, so a client crash mid-batch leaves the remaining ops with
+// done == false (their fate is unknown, like a crashed serial op's).
+// `done_clock_ns` is the issuing client's virtual clock at the moment the
+// outcome was decided: ops completed by an early fused round trip stamp
+// earlier than ops that fell back to serial execution behind them, which
+// lets a runner report per-op latency including in-batch queueing instead
+// of dividing the batch's wall time by its depth.
+struct BatchOp {
+  enum class Kind : uint8_t { kSearch, kInsert, kUpdate, kRemove };
+  Kind kind = Kind::kSearch;
+  Slice key;
+  Slice value;                       // insert/update payload
+  std::string* value_out = nullptr;  // search result sink (optional)
+  bool ok = false;
+  bool done = false;
+  uint64_t done_clock_ns = 0;
+};
+
 class KvIndex {
  public:
   virtual ~KvIndex() = default;
@@ -40,6 +61,24 @@ class KvIndex {
       Slice low_key, Slice high_key, size_t max_results,
       std::vector<std::pair<std::string, std::string>>* out) = 0;
 
+  // Executes `count` point ops as one pipelined batch. Contract: each op's
+  // `ok`/`done` fields are per-op equivalent to the serial entry points --
+  // every op linearizes at some point during the call, ops may linearize
+  // in any order within the batch, and a client crash propagates after
+  // marking the ops whose outcome was already decided `done`. The default
+  // is the naive serial loop (one op at a time, zero overlap): the honest
+  // baseline for systems without a pipelined client. Implementations that
+  // keep several ops in flight (Sphinx: cross-op doorbell fusion) override
+  // this; they must preserve the same per-op outcome contract.
+  virtual void execute_batch(BatchOp* ops, size_t count) {
+    for (size_t i = 0; i < count; ++i) execute_one(ops[i]);
+  }
+
+  // The issuing client's virtual clock, used to stamp BatchOp completion
+  // times. Indexes not backed by a simulated endpoint report 0 (completion
+  // stamps then degrade to "end of batch" in the runner).
+  virtual uint64_t client_clock_ns() const { return 0; }
+
   // True when the most recent scan/scan_range on this client ended early
   // for a reason other than satisfying `count`/`max_results` (e.g. retries
   // against stale remote nodes were exhausted), i.e. live keys inside the
@@ -48,6 +87,31 @@ class KvIndex {
   virtual bool last_scan_truncated() const { return false; }
 
   virtual const char* name() const = 0;
+
+ protected:
+  // Serial execution of one batch op, shared by the default execute_batch
+  // and by pipelined implementations' fallback paths. Virtual dispatch
+  // routes each op through the subclass's own entry points, so a wrapper
+  // (or an index with its own fast path) keeps its semantics inside
+  // batches too.
+  void execute_one(BatchOp& op) {
+    switch (op.kind) {
+      case BatchOp::Kind::kSearch:
+        op.ok = search(op.key, op.value_out);
+        break;
+      case BatchOp::Kind::kInsert:
+        op.ok = insert(op.key, op.value);
+        break;
+      case BatchOp::Kind::kUpdate:
+        op.ok = update(op.key, op.value);
+        break;
+      case BatchOp::Kind::kRemove:
+        op.ok = remove(op.key);
+        break;
+    }
+    op.done = true;
+    op.done_clock_ns = client_clock_ns();
+  }
 };
 
 }  // namespace sphinx

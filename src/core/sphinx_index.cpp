@@ -137,6 +137,164 @@ bool SphinxIndex::search(Slice key, std::string* value_out) {
   return RemoteTree::search(key, value_out);
 }
 
+void SphinxIndex::execute_batch(BatchOp* ops, size_t count) {
+  sstats_.batch_ops += count;
+  // Without a LAC there is no speculative leaf read to fuse across ops
+  // (every search resolves through SFC/PEC/INHT descents), and a
+  // single-op batch has nothing to merge: both run the honest serial loop.
+  if (lac_ == nullptr || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      execute_one(ops[i]);
+      sstats_.batch_serial_ops++;
+    }
+    return;
+  }
+
+  if (batch_slots_.size() < count) batch_slots_.resize(count);
+
+  // Stage 1 (local, zero round trips): probe the LAC for every search op
+  // in batch order, with exactly the single-op probe sequence and CPU
+  // charges; cold hits additionally plan the PEC-hinted fallback inner
+  // read so a stale leaf already holds its rescue descent's start node.
+  size_t fused_count = 0;
+  for (size_t i = 0; i < count; ++i) {
+    BatchSlot& s = batch_slots_[i];
+    s.key.reset();
+    s.fused = false;
+    s.pending = false;
+    s.fused_len = 0;
+    if (ops[i].kind != BatchOp::Kind::kSearch) continue;
+    s.key.emplace(ops[i].key);
+    const art::TerminatedKey& tkey = *s.key;
+    s.full_hash = tkey.hash_of_prefix(tkey.size());
+    endpoint_.advance_local(config_.lac_probe_ns);
+    uint64_t payload = 0;
+    s.hot = false;
+    if (!lac_->lookup(s.full_hash, &payload, &s.hot)) continue;
+    sstats_.lac_hits++;
+    s.units = filter::lac_payload_units(payload);
+    s.leaf_addr =
+        rdma::GlobalAddr::from48(filter::lac_payload_addr48(payload));
+    s.fused = true;
+    fused_count++;
+    if (!s.hot && config_.lac_speculative_fusion && pec_ != nullptr) {
+      const uint32_t max_len = tkey.size() - 1;
+      hash_scratch_.resize(max_len + 1);
+      for (uint32_t l = 1; l <= max_len; ++l) {
+        hash_scratch_[l] = tkey.hash_of_prefix(l);
+      }
+      endpoint_.advance_local(config_.prefix_hash_ns * max_len);
+      for (uint32_t l = max_len; l >= 1; --l) {
+        if (filter_ != nullptr) {
+          endpoint_.advance_local(config_.filter_probe_ns);
+          if (!filter_->contains(hash_scratch_[l])) continue;
+        }
+        endpoint_.advance_local(config_.pec_probe_ns);
+        uint64_t p = 0;
+        bool inner_hot = false;
+        if (!pec_->lookup(hash_scratch_[l], &p, &inner_hot)) continue;
+        sstats_.pec_hits++;
+        s.fused_len = l;
+        s.fused_hash = hash_scratch_[l];
+        s.fused_payload = p;
+        break;
+      }
+    }
+  }
+
+  // Stage 2: ONE doorbell round trip carrying every hit's speculative leaf
+  // read plus the cold hits' fused inner reads -- the cross-op fusion that
+  // turns K warm hits into 1 RTT. The whole round is LAC-attributed
+  // (phases charge per round trip, not per verb or per op; rdma/phase.h),
+  // so per-phase sums stay exactly equal to totals.
+  if (fused_count > 0) {
+    rdma::DoorbellBatch batch(endpoint_);
+    for (size_t i = 0; i < count; ++i) {
+      BatchSlot& s = batch_slots_[i];
+      if (!s.fused) continue;
+      s.leaf.resize(s.units);
+      batch.add_read(s.leaf_addr, s.leaf.buf().data(),
+                     s.units * art::kLeafUnitBytes);
+      if (s.fused_len > 0) {
+        const art::NodeType ftype = inht_payload_type(s.fused_payload);
+        batch.add_read(inht_payload_addr(s.fused_payload),
+                       s.inner.image.raw(), art::inner_node_bytes(ftype));
+      }
+    }
+    sstats_.batch_fused_rounds++;
+    rdma::PhaseScope lac_scope(endpoint_, rdma::Phase::kLacFusedRead);
+    batch.execute();
+  }
+
+  // Stage 3: validate each speculative leaf exactly like the single-op
+  // fast path -- unit count, CRC, liveness, byte-exact key compare, and
+  // the final lac_wrong_value audit -- and purge stale bindings before any
+  // fallback descends.
+  for (size_t i = 0; i < count; ++i) {
+    BatchSlot& s = batch_slots_[i];
+    if (!s.fused) continue;
+    BatchOp& op = ops[i];
+    const art::TerminatedKey& tkey = *s.key;
+    const bool image_ok =
+        s.leaf.units() == s.units &&
+        s.leaf.revalidate() != art::LeafImage::Revalidate::kBad &&
+        s.leaf.status() != art::NodeStatus::kInvalid;
+    if (image_ok && s.leaf.key() == tkey.full()) {
+      if (!s.leaf.checksum_ok() || s.leaf.key() != tkey.full()) {
+        sstats_.lac_wrong_value++;
+      } else {
+        if (op.value_out != nullptr) {
+          op.value_out->assign(s.leaf.value().data(), s.leaf.value().size());
+        }
+        if (!s.hot) sstats_.lac_fused_wins++;
+        op.ok = true;
+        op.done = true;
+        op.done_clock_ns = endpoint_.clock_ns();
+        sstats_.batch_fused_ops++;
+        continue;
+      }
+    }
+    sstats_.lac_stale++;
+    lac_->invalidate_if(s.full_hash, s.leaf_addr.to48());
+    if (s.fused_len > 0) {
+      const art::NodeType ftype = inht_payload_type(s.fused_payload);
+      const rdma::GlobalAddr faddr = inht_payload_addr(s.fused_payload);
+      if (validate_start(s.fused_len, s.fused_hash, ftype, faddr, &s.inner)) {
+        s.pending = true;
+        sstats_.lac_fused_losses++;
+      } else {
+        sstats_.pec_stale++;
+        pec_->invalidate_if(s.fused_hash, faddr.to48());
+      }
+    }
+  }
+
+  // Stage 4 (serial pass, batch order): everything the shared round did
+  // not finish -- mutations, LAC misses, stale bindings. Searches go
+  // straight to the base machinery (the LAC was already probed in stage 1;
+  // re-entering SphinxIndex::search would double-charge the probe), and a
+  // stale op whose fused inner read validated hands it to find_start so
+  // its rescue descent spends zero extra round trips, exactly like the
+  // single-op fallback.
+  for (size_t i = 0; i < count; ++i) {
+    BatchOp& op = ops[i];
+    if (op.done) continue;
+    BatchSlot& s = batch_slots_[i];
+    sstats_.batch_serial_ops++;
+    if (op.kind == BatchOp::Kind::kSearch) {
+      if (s.pending) {
+        pending_start_ = s.inner;
+        have_pending_start_ = true;
+      }
+      op.ok = RemoteTree::search(op.key, op.value_out);
+      op.done = true;
+      op.done_clock_ns = endpoint_.clock_ns();
+    } else {
+      execute_one(op);
+    }
+  }
+}
+
 bool SphinxIndex::validate_start(uint32_t len, uint64_t hash,
                                  art::NodeType type, rdma::GlobalAddr addr,
                                  PathEntry* out) {

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "art/remote_tree.h"
@@ -90,6 +91,10 @@ struct SphinxStats {
   uint64_t lac_fused_wins = 0;   // cold-hit fused leaf read validated
   uint64_t lac_fused_losses = 0; // stale leaf; fused inner seeded fallback
   uint64_t lac_wrong_value = 0;  // 1-RTT return failed final audit (== 0!)
+  uint64_t batch_ops = 0;           // point ops entering execute_batch
+  uint64_t batch_fused_ops = 0;     // ops completed by a shared fused round
+  uint64_t batch_fused_rounds = 0;  // cross-op doorbell round trips issued
+  uint64_t batch_serial_ops = 0;    // batch ops resolved by serial fallback
 
   SphinxStats& operator+=(const SphinxStats& o);
 };
@@ -115,6 +120,10 @@ inline constexpr metrics::Field<SphinxStats> kSphinxStatsFields[] = {
     {"lac_fused_wins", &SphinxStats::lac_fused_wins},
     {"lac_fused_losses", &SphinxStats::lac_fused_losses},
     {"lac_wrong_value", &SphinxStats::lac_wrong_value},
+    {"batch_ops", &SphinxStats::batch_ops},
+    {"batch_fused_ops", &SphinxStats::batch_fused_ops},
+    {"batch_fused_rounds", &SphinxStats::batch_fused_rounds},
+    {"batch_serial_ops", &SphinxStats::batch_serial_ops},
 };
 
 inline SphinxStats& SphinxStats::operator+=(const SphinxStats& o) {
@@ -144,6 +153,19 @@ class SphinxIndex final : public art::RemoteTree {
   // back to the normal SFC/PEC/INHT search. With no LAC installed this is
   // bit-identical to RemoteTree::search.
   bool search(Slice key, std::string* value_out) override;
+
+  // Pipelined multi-op execution with cross-op doorbell fusion: every
+  // search op's LAC probe (and, for cold hits, the PEC-hinted fallback
+  // inner-node plan) runs locally up front, then ALL speculative leaf
+  // reads -- plus the cold hits' fused inner reads -- issue in ONE shared
+  // DoorbellBatch round trip. K warm hits thus cost 1 RTT instead of K.
+  // Each op is then validated exactly like the single-op fast path (unit
+  // count, CRC, liveness, byte-exact key compare, lac_wrong_value audit);
+  // misses, stale bindings and mutations fall back to the serial entry
+  // points in batch order, a stale cold hit's validated fused inner read
+  // seeding its fallback descent for 0 extra RTTs. With no LAC installed
+  // (or a single-op batch) this is the plain serial loop.
+  void execute_batch(BatchOp* ops, size_t count) override;
 
   const SphinxStats& sphinx_stats() const { return sstats_; }
   InhtClient& inht() { return inht_; }
@@ -302,6 +324,25 @@ class SphinxIndex final : public art::RemoteTree {
   art::LeafImage lac_leaf_;
   PathEntry pending_start_;
   bool have_pending_start_ = false;
+  // Per-op state for execute_batch's resumable machine (reused across
+  // batches; grown once to the pipeline depth, never shrunk, so steady
+  // state is allocation-free). Each slot mirrors exactly the locals the
+  // single-op fast path keeps on its stack.
+  struct BatchSlot {
+    std::optional<art::TerminatedKey> key;
+    uint64_t full_hash = 0;
+    uint32_t units = 0;
+    rdma::GlobalAddr leaf_addr;
+    bool hot = false;
+    bool fused = false;    // op rides the shared speculative round trip
+    bool pending = false;  // stale leaf, but fused inner read validated
+    uint32_t fused_len = 0;
+    uint64_t fused_hash = 0;
+    uint64_t fused_payload = 0;
+    art::LeafImage leaf;
+    PathEntry inner;  // fused inner read lands here
+  };
+  std::vector<BatchSlot> batch_slots_;
 };
 
 }  // namespace sphinx::core

@@ -11,6 +11,19 @@
 // scan frontier, allocation, and crash recovery. Filter probes are CN-local
 // (advance_local only), so kFilterProbe exists for trace spans but should
 // never accumulate round trips.
+//
+// Charging rule under cross-op fusion: phases charge per ROUND TRIP, never
+// per verb and never per op. When one doorbell round trip serves several
+// operations (the pipelined client's shared speculative round, or a cold
+// hit's leaf+inner hedge), the whole round trip -- its one RTT and all its
+// bytes -- is charged once, to the phase of the innermost scope at execute
+// time (kLacFusedRead for the pipelined batch). Nothing is split or
+// prorated across the ops sharing the wire: splitting would require a
+// per-op cost model the fabric doesn't have, and any rule that charges
+// fractions re-opens rounding gaps between per-phase sums and totals. The
+// invariant "sum over phases == round_trips, exactly" therefore survives
+// arbitrary fusion, and tests/test_observability.cpp asserts it on
+// pipelined runs.
 #pragma once
 
 #include <cstdint>

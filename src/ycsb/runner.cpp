@@ -135,6 +135,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
 
       rdma::TraceRecorder* wrec = traces.empty() ? nullptr : &traces[w];
 
+      if (options.pipeline_depth <= 1) {
       for (uint64_t op = 0; op < options.ops_per_worker; ++op) {
         const bool traced =
             wrec != nullptr && (op % options.trace_sample) == 0;
@@ -202,6 +203,155 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
         }
         out.latency.record(endpoint->clock_ns() - t0);
       }
+      } else {
+        // Pipelined mode: plan up to `pipeline_depth` point ops -- drawing
+        // rolls, key indexes and insert-cursor claims in exactly the serial
+        // order -- submit them as one execute_batch call, then resolve
+        // outcomes in plan order. A scan draw closes the current batch and
+        // runs serially after it (scans have no batch form). Each op's
+        // latency sample spans batch submit to that op's own completion
+        // stamp, so in-batch queueing is measured per op.
+        const uint32_t depth = options.pipeline_depth;
+        struct Planned {
+          BatchOp::Kind kind = BatchOp::Kind::kSearch;
+          uint64_t key_idx = 0;
+        };
+        std::vector<Planned> plan(depth);
+        std::vector<BatchOp> batch(depth);
+        // Per-slot buffers: BatchOps hold Slices, so payloads must stay put
+        // until the batch resolves (the serial loop's single reused buffer
+        // would alias every op in flight).
+        std::vector<std::string> values(depth);
+        std::vector<std::string> read_bufs(depth);
+        for (auto& v : values) v.assign(spec.value_size, 'v');
+        uint64_t op = 0;
+        while (op < options.ops_per_worker) {
+          const uint64_t budget = options.ops_per_worker - op;
+          uint32_t planned = 0;
+          bool have_scan = false;
+          uint64_t scan_idx = 0;
+          size_t scan_len = 0;
+          while (planned < depth && planned < budget) {
+            const double roll = rng.next_double();
+            if (roll >= p_insert) {
+              scan_idx = dist->next(rng);
+              scan_len = 1 + rng.next_below(spec.max_scan_len);
+              have_scan = true;
+              break;
+            }
+            Planned& p = plan[planned];
+            const uint64_t opno = op + planned;
+            if (roll < p_read) {
+              p.kind = BatchOp::Kind::kSearch;
+              p.key_idx = dist->next(rng);
+            } else if (roll < p_update) {
+              p.kind = BatchOp::Kind::kUpdate;
+              p.key_idx = dist->next(rng);
+              std::memcpy(values[planned].data(), &opno,
+                          std::min<size_t>(8, values[planned].size()));
+            } else {
+              const uint64_t idx =
+                  insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+              std::memcpy(values[planned].data(), &opno,
+                          std::min<size_t>(8, values[planned].size()));
+              if (idx >= keys_.size()) {
+                out.insert_overflow++;
+                p.kind = BatchOp::Kind::kUpdate;
+                p.key_idx = dist->next(rng);
+              } else {
+                p.kind = BatchOp::Kind::kInsert;
+                p.key_idx = idx;
+              }
+            }
+            planned++;
+          }
+          if (planned > 0) {
+            for (uint32_t i = 0; i < planned; ++i) {
+              BatchOp& b = batch[i];
+              b.kind = plan[i].kind;
+              b.key = Slice(keys_[plan[i].key_idx]);
+              b.value = Slice(values[i]);
+              b.value_out = b.kind == BatchOp::Kind::kSearch
+                                ? &read_bufs[i]
+                                : nullptr;
+              b.ok = false;
+              b.done = false;
+              b.done_clock_ns = 0;
+            }
+            const bool traced =
+                wrec != nullptr && (op % options.trace_sample) == 0;
+            endpoint->set_trace(traced ? wrec : nullptr, w);
+            const uint64_t t0 = endpoint->clock_ns();
+            bool crashed = false;
+            try {
+              index->execute_batch(batch.data(), planned);
+            } catch (const rdma::ClientCrashed&) {
+              crashed = true;
+              out.client_crashes++;
+              out.net += endpoint->stats();
+              clock_carry = endpoint->clock_ns();
+              if (hook_) hook_(*index, w);
+              ++generation;
+              incarnate();
+            }
+            for (uint32_t i = 0; i < planned; ++i) {
+              const BatchOp& b = batch[i];
+              // Ops the crash caught mid-flight are abandoned exactly like
+              // a crashed serial op: no outcome, no latency sample (their
+              // fate is decided by the survivors' lock reclamation).
+              if (!b.done) continue;
+              switch (b.kind) {
+                case BatchOp::Kind::kSearch:
+                case BatchOp::Kind::kUpdate:
+                  if (!b.ok) out.misses++;
+                  break;
+                case BatchOp::Kind::kInsert:
+                  if (b.ok) {
+                    visible_.fetch_add(1, std::memory_order_relaxed);
+                    if (latest) latest->advance_frontier();
+                  } else {
+                    out.insert_failures++;
+                  }
+                  break;
+                case BatchOp::Kind::kRemove:
+                  break;
+              }
+              // Indexes without a virtual clock stamp 0; degrade those
+              // samples to end-of-batch (the serial-equivalent bound).
+              const uint64_t done_ns =
+                  b.done_clock_ns >= t0 ? b.done_clock_ns
+                                        : endpoint->clock_ns();
+              out.latency.record(done_ns - t0);
+            }
+            if (traced && !crashed) {
+              wrec->record("op:batch", t0, endpoint->clock_ns() - t0, w);
+            }
+            op += planned;
+          }
+          if (have_scan) {
+            endpoint->set_trace(nullptr, w);
+            const uint64_t t0 = endpoint->clock_ns();
+            try {
+              const uint64_t rtts_before = endpoint->stats().round_trips;
+              out.scan_keys += index->scan(keys_[scan_idx], scan_len,
+                                           &scan_buf);
+              out.scan_round_trips +=
+                  endpoint->stats().round_trips - rtts_before;
+              out.scan_ops++;
+              if (index->last_scan_truncated()) out.scan_truncated++;
+              out.latency.record(endpoint->clock_ns() - t0);
+            } catch (const rdma::ClientCrashed&) {
+              out.client_crashes++;
+              out.net += endpoint->stats();
+              clock_carry = endpoint->clock_ns();
+              if (hook_) hook_(*index, w);
+              ++generation;
+              incarnate();
+            }
+            op += 1;
+          }
+        }
+      }
       out.net += endpoint->stats();
       out.end_clock_ns = endpoint->clock_ns();
       if (hook_) hook_(*index, w);
@@ -262,13 +412,17 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
       result.sim_seconds > 0
           ? static_cast<double>(result.total_ops) / result.sim_seconds
           : 0;
-  // Effective mean (Little's law over the worker population, consistent
-  // with ops_per_sec); the unloaded mean comes from the same histogram the
-  // percentiles do, so both latency views are internally consistent.
+  // Effective mean (Little's law with L = workers x pipeline_depth ops in
+  // flight, consistent with ops_per_sec); the unloaded mean comes from the
+  // same histogram the percentiles do, so both latency views are
+  // internally consistent. At depth 1 this reduces exactly to the pre-
+  // pipelining workers-only formula.
   result.mean_latency_ns =
       result.total_ops > 0
-          ? static_cast<double>(options.workers) * t_eff /
-                static_cast<double>(result.total_ops)
+          ? static_cast<double>(options.workers) *
+                static_cast<double>(
+                    std::max<uint32_t>(1, options.pipeline_depth)) *
+                t_eff / static_cast<double>(result.total_ops)
           : 0;
   result.mean_unloaded_latency_ns = result.latency.mean_ns();
   result.rtts_per_op = static_cast<double>(result.net.round_trips) /

@@ -49,6 +49,16 @@ struct RunOptions {
   // stats are bit-identical to an untraced run.
   rdma::TraceRecorder* trace = nullptr;
   uint32_t trace_sample = 32;
+  // Point ops kept in flight per worker. Each worker plans up to this many
+  // ops ahead -- drawing the workload stream (roll, then key index) in
+  // exactly the serial order -- and submits them as one
+  // KvIndex::execute_batch call, letting pipelined clients fuse round
+  // trips across ops. 1 (the default) runs the pre-batching serial loop,
+  // bit-identical to releases before pipelining existed. Scans never
+  // batch: a scan draw closes the current batch and runs serially after
+  // it. With tracing on, depth > 1 records one "op:batch" span per batch
+  // instead of per-op spans.
+  uint32_t pipeline_depth = 1;
 };
 
 struct RunResult {
@@ -79,12 +89,17 @@ struct RunResult {
   // Latency is dual-reported and the two views differ exactly by the
   // NIC-capacity stretch factor `latency_stretch` = max(1, nic_utilization):
   //  * `latency` (and mean_unloaded_latency_ns) is the per-op distribution
-  //    at unloaded pacing -- no queueing applied, what each op cost on its
-  //    own virtual timeline;
+  //    at unloaded pacing -- no NIC queueing applied, what each op cost on
+  //    its own virtual timeline. Under pipelining (pipeline_depth > 1) an
+  //    op's sample spans batch submit to *that op's* completion stamp
+  //    (BatchOp::done_clock_ns), so in-batch queueing is measured per op
+  //    -- ops finished by an early fused round trip record less than ops
+  //    serialized behind them in the same batch -- rather than dividing
+  //    the batch's wall time evenly by its depth;
   //  * `mean_latency_ns` and effective_percentile_ns() are *effective*
   //    (queueing-adjusted) figures consistent with the reported throughput
-  //    via Little's law over the worker population. On an unsaturated
-  //    fabric the stretch is 1 and the two views coincide.
+  //    via Little's law with L = workers x pipeline_depth ops in flight.
+  //    On an unsaturated fabric at depth 1 the two views coincide.
   double mean_latency_ns = 0;
   double mean_unloaded_latency_ns = 0;
   double latency_stretch = 1.0;

@@ -96,6 +96,13 @@ SystemSetup::SystemSetup(SystemKind kind, mem::Cluster& cluster,
   }
 }
 
+// Pipelining honesty note: only Sphinx overrides KvIndex::execute_batch
+// (cross-op doorbell fusion of the LAC fast path). SMART, SMART+C, ART and
+// the B+ tree deliberately keep the inherited naive serial loop -- one op
+// at a time, zero overlap -- so --pipeline-depth > 1 changes *their*
+// numbers only through batch-boundary effects (none on the virtual clock),
+// and the 4-system comparison measures Sphinx's pipelined client against
+// unpipelined baselines explicitly, not against accidental stubs.
 std::unique_ptr<KvIndex> SystemSetup::make_client(
     uint32_t cn, rdma::Endpoint& endpoint, mem::RemoteAllocator& allocator) {
   switch (kind_) {

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -71,6 +72,15 @@ struct StressOptions {
   // 0 = disabled). The default keeps the LAC in every Sphinx stress mix so
   // the speculative-read path soaks under the same schedules as the rest.
   uint64_t lac_budget = ycsb::kAutoLacBudget;
+  // Point ops kept in flight per worker (KvIndex::execute_batch). 1 runs
+  // the serial op loop; deeper values plan a batch of ops up front and
+  // resolve every outcome -- bracket checks, oracle updates, crash
+  // resolution -- against the BatchOp done/ok contract. A second mutation
+  // of a key already mutated in the current batch is demoted to an
+  // unchecked read (batch-internal order is unspecified, so chaining two
+  // mutations of one key inside a batch has no serial oracle); scans close
+  // the batch and run serially.
+  int pipeline_depth = 1;
 };
 
 struct StressReport {
@@ -99,6 +109,11 @@ struct StressReport {
   uint64_t lac_stale = 0;
   uint64_t lac_wrong_value = 0;
   uint64_t lac_second_pass_stale = 0;
+  // Pipelined-client traffic (pipeline_depth > 1, Sphinx only): point ops
+  // whose leaf reads were merged into shared doorbell rounds, and the
+  // number of those fused rounds. Zero in serial runs.
+  uint64_t batch_fused_ops = 0;
+  uint64_t batch_fused_rounds = 0;
   // Crash-tolerance accounting: injected client deaths, post-crash reads
   // that observed a state outside the crashed op's acceptable set (old xor
   // new -- a torn or lost-ack outcome), mutations that honestly exhausted
@@ -180,6 +195,8 @@ class StressHarness {
     report.speculative_losses = spec_losses_.load();
     report.lac_hits = lac_hits_.load();
     report.lac_stale = lac_stale_.load();
+    report.batch_fused_ops = batch_fused_ops_.load();
+    report.batch_fused_rounds = batch_fused_rounds_.load();
     report.client_crashes = crashes_.load();
     report.crash_timeouts = crash_timeouts_.load();
     verify_quiesced(oracles, &report);
@@ -295,6 +312,8 @@ class StressHarness {
       lac_hits_.fetch_add(sx->sphinx_stats().lac_hits);
       lac_stale_.fetch_add(sx->sphinx_stats().lac_stale);
       lac_wrong_value_.fetch_add(sx->sphinx_stats().lac_wrong_value);
+      batch_fused_ops_.fetch_add(sx->sphinx_stats().batch_fused_ops);
+      batch_fused_rounds_.fetch_add(sx->sphinx_stats().batch_fused_rounds);
     }
     std::lock_guard<std::mutex> lock(recovery_mu_);
     if (const auto* tree = dynamic_cast<art::RemoteTree*>(index)) {
@@ -403,6 +422,7 @@ class StressHarness {
     std::string v;
     std::vector<std::pair<std::string, std::string>> scan_out;
 
+    if (options_.pipeline_depth <= 1) {
     for (int op = 0; op < options_.ops_per_thread; ++op) {
       const uint64_t r = rng.next_below(100);
       OpKind op_kind = OpKind::kNone;
@@ -530,6 +550,189 @@ class StressHarness {
         }
       }
     }
+    } else {
+      // Pipelined mode: plan a batch of point ops locally (publishing
+      // started_ for lin writes at plan time -- the bracket [lo-at-plan,
+      // hi-after-batch] is a superset of the serial interval, so the
+      // linearizability check stays sound), submit one execute_batch call,
+      // then resolve every outcome in plan order. Ops the crash left with
+      // done == false resolve through the same read-back machinery as a
+      // crashed serial op.
+      struct Planned {
+        BatchOp::Kind bkind = BatchOp::Kind::kSearch;
+        OpKind kind = OpKind::kNone;  // mutation class, for resolution
+        bool lin_checked = false;     // lin read with bracket check
+        size_t slot = 0;
+        int64_t lo = 0;    // lin read: completed_ observed at plan time
+        int64_t ver = 0;   // lin write version
+        std::string key;
+        std::string value;  // attempted value (insert/update)
+        std::string old;    // previous oracle value (update/remove)
+      };
+      const size_t depth = static_cast<size_t>(options_.pipeline_depth);
+      std::vector<Planned> plan(depth);
+      std::vector<BatchOp> batch(depth);
+      std::vector<std::string> read_bufs(depth);
+      std::set<std::string> batch_muts;  // keys already mutated this batch
+      int op = 0;
+      while (op < options_.ops_per_thread) {
+        size_t planned = 0;
+        bool have_scan = false;
+        int scan_t = 0;
+        batch_muts.clear();
+        while (planned < depth &&
+               op + static_cast<int>(planned) < options_.ops_per_thread) {
+          const uint64_t r = rng.next_below(100);
+          Planned& p = plan[planned];
+          p = Planned{};
+          if (r >= 90) {
+            scan_t = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.threads)));
+            have_scan = true;
+            break;  // scans have no batch form: close and run serially
+          }
+          if (r < 35) {
+            const int ot = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.threads)));
+            const int oi = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.lin_keys_per_thread)));
+            p.lin_checked = true;
+            p.slot = lin_slot(ot, oi);
+            p.lo = completed_[p.slot].load();
+            p.key = lin_key(ot, oi);
+          } else if (r < 50) {
+            const int i = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.lin_keys_per_thread)));
+            p.key = lin_key(t, i);
+            if (batch_muts.count(p.key) != 0) {
+              // demoted: already mutated in this batch (unchecked read)
+            } else {
+              batch_muts.insert(p.key);
+              const int64_t ver = ++my_version[static_cast<size_t>(i)];
+              p.bkind = BatchOp::Kind::kUpdate;
+              p.kind = OpKind::kLinWrite;
+              p.slot = lin_slot(t, i);
+              p.ver = ver;
+              p.value = lin_value(ver);
+              started_[p.slot].store(ver);
+            }
+          } else if (r < 80) {
+            const int i = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.churn_keys_per_thread)));
+            p.key = churn_key(t, i);
+            if (batch_muts.count(p.key) != 0) {
+              // demoted: already mutated in this batch (unchecked read)
+            } else {
+              auto it = oracle->find(p.key);
+              if (it == oracle->end()) {
+                p.bkind = BatchOp::Kind::kInsert;
+                p.kind = OpKind::kChurnInsert;
+                p.value = "c:" + std::to_string(op + static_cast<int>(planned));
+              } else if (rng.next_below(3) == 0) {
+                p.bkind = BatchOp::Kind::kRemove;
+                p.kind = OpKind::kChurnRemove;
+                p.old = it->second;
+              } else {
+                p.bkind = BatchOp::Kind::kUpdate;
+                p.kind = OpKind::kChurnUpdate;
+                p.value = "c:" + std::to_string(op + static_cast<int>(planned));
+                p.old = it->second;
+              }
+              batch_muts.insert(p.key);
+            }
+          } else {
+            const int ot = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.threads)));
+            const int oi = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(options_.churn_keys_per_thread)));
+            p.key = churn_key(ot, oi);  // cross-stripe unchecked read
+          }
+          planned++;
+        }
+        if (planned > 0) {
+          // BatchOps carry Slices: build them only now, with every planned
+          // key/value string in its final resting place.
+          for (size_t i = 0; i < planned; ++i) {
+            BatchOp& b = batch[i];
+            b.kind = plan[i].bkind;
+            b.key = Slice(plan[i].key);
+            b.value = Slice(plan[i].value);
+            b.value_out = b.kind == BatchOp::Kind::kSearch
+                              ? &read_bufs[i]
+                              : nullptr;
+            b.ok = false;
+            b.done = false;
+            b.done_clock_ns = 0;
+          }
+          try {
+            index->execute_batch(batch.data(), planned);
+          } catch (const rdma::ClientCrashed&) {
+            crashes_.fetch_add(1);
+            ++generation;
+            incarnate();
+          }
+          for (size_t i = 0; i < planned; ++i) {
+            const Planned& p = plan[i];
+            const BatchOp& b = batch[i];
+            if (p.kind == OpKind::kNone) {
+              // Reads abandoned by a crash carry no state to resolve.
+              if (b.done && p.lin_checked) {
+                const int64_t hi = started_[p.slot].load();
+                if (!b.ok) {
+                  (*lin_violations)++;  // lin keys are never removed
+                } else {
+                  const int64_t ver = parse_lin_version(read_bufs[i]);
+                  if (ver < p.lo || ver > hi) (*lin_violations)++;
+                }
+              }
+            } else if (p.kind == OpKind::kLinWrite) {
+              if (!b.done) {
+                resolve_lin_write(p.slot, p.key, p.ver);
+              } else if (b.ok) {
+                completed_[p.slot].store(p.ver);
+              } else if (options_.crash_rate > 0.0) {
+                crash_timeouts_.fetch_add(1);
+                resolve_lin_write(p.slot, p.key, p.ver);
+              } else {
+                (*failed_ops)++;  // the key exists; update must succeed
+              }
+            } else {
+              if (!b.done) {
+                resolve_churn(p.kind, p.key, p.value, p.old);
+              } else if (b.ok) {
+                if (p.kind == OpKind::kChurnRemove) {
+                  oracle->erase(p.key);
+                } else {
+                  (*oracle)[p.key] = p.value;
+                }
+              } else if (options_.crash_rate > 0.0) {
+                crash_timeouts_.fetch_add(1);
+                resolve_churn(p.kind, p.key, p.value, p.old);
+              } else {
+                (*failed_ops)++;
+              }
+            }
+          }
+          op += static_cast<int>(planned);
+        }
+        if (have_scan) {
+          try {
+            scan_out.clear();
+            index->scan(lin_key(scan_t, 0), 16, &scan_out);
+            for (size_t j = 1; j < scan_out.size(); ++j) {
+              if (scan_out[j - 1].first >= scan_out[j].first) {
+                (*scan_violations)++;
+              }
+            }
+          } catch (const rdma::ClientCrashed&) {
+            crashes_.fetch_add(1);
+            ++generation;
+            incarnate();
+          }
+          op += 1;
+        }
+      }
+    }
     clock_sum->fetch_add(ep->clock_ns());
     salvage_client_stats(index.get());
   }
@@ -609,6 +812,8 @@ class StressHarness {
   std::atomic<uint64_t> lac_hits_{0};
   std::atomic<uint64_t> lac_stale_{0};
   std::atomic<uint64_t> lac_wrong_value_{0};
+  std::atomic<uint64_t> batch_fused_ops_{0};
+  std::atomic<uint64_t> batch_fused_rounds_{0};
   // Crash-tolerance accounting (see StressReport).
   std::atomic<uint64_t> crashes_{0};
   std::atomic<uint64_t> crash_resolve_violations_{0};

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "common/metrics.h"
@@ -236,6 +237,50 @@ TEST(Attribution, NoLacRunIsPreLacBitForBit) {
   const ycsb::RunResult on = run_once(ycsb::kAutoLacBudget);
   EXPECT_GT(on.net.rtts_by_phase[lac_phase], 0u);
   EXPECT_LT(on.net.round_trips, off_a.net.round_trips);
+}
+
+// ---- phase attribution under cross-op fusion ------------------------------------
+
+TEST(Attribution, PipelinedFusionSumsExactlyAndSharesRounds) {
+  // One doorbell round trip serving several ops is still charged to
+  // exactly one phase -- the whole round to kLacFusedRead, nothing split
+  // or prorated across the ops sharing the wire (the charging rule in
+  // rdma/phase.h) -- so per-phase RTT/byte sums equal totals under
+  // arbitrary cross-op fusion. And the shared round must actually be
+  // shared: warm read-heavy batches at depth 8 complete several ops per
+  // cross-op round trip.
+  const auto keys = ycsb::generate_u64_keys(3000, 1);
+  auto cluster = testing::make_test_cluster(64ull << 20);
+  ycsb::SystemSetup setup(ycsb::SystemKind::kSphinx, *cluster, 1 << 20);
+  ycsb::YcsbRunner runner(*cluster, setup.factory(), keys);
+  runner.load(2000, 64, 4);
+  core::SphinxStats agg;
+  std::mutex agg_mu;
+  runner.set_per_worker_hook([&](KvIndex& index, uint32_t) {
+    if (auto* s = dynamic_cast<core::SphinxIndex*>(&index)) {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      agg += s->sphinx_stats();
+    }
+  });
+  for (char w : {'C', 'A', 'D'}) {
+    ycsb::RunOptions options;
+    options.workers = 6;
+    options.ops_per_worker = 200;
+    options.pipeline_depth = 8;
+    const ycsb::RunResult r = runner.run(ycsb::standard_workload(w), options);
+    const auto& s = r.net;
+    ASSERT_GT(s.round_trips, 0u) << w;
+    EXPECT_EQ(s.rtts_sum_by_phase(), s.round_trips) << w;
+    EXPECT_EQ(s.bytes_sum_by_phase(), s.bytes_total()) << w;
+    EXPECT_EQ(
+        s.rtts_by_phase[static_cast<size_t>(rdma::Phase::kUnattributed)], 0u)
+        << w;
+  }
+  // More ops completed by fused rounds than rounds issued: the doorbell
+  // batches really carried multiple ops each.
+  EXPECT_GT(agg.batch_fused_rounds, 0u);
+  EXPECT_GT(agg.batch_fused_ops, 2 * agg.batch_fused_rounds);
+  EXPECT_EQ(agg.lac_wrong_value, 0u);
 }
 
 // ---- runner honesty: insert failures --------------------------------------------

@@ -230,6 +230,68 @@ TEST(Stress, SmartClientCrashStorm) {
   EXPECT_GT(report.client_crashes, 0u);
 }
 
+// Pipelined-client coherence: each worker plans a batch of point ops,
+// submits them through execute_batch (cross-op doorbell fusion on Sphinx),
+// and resolves every outcome against the same lin-bracket and churn-oracle
+// machinery as the serial mix. The batches race other workers' writers --
+// a fused leaf read can land while the leaf's owner is splitting it -- so
+// staleness, validation, and the wrong-value audit are all on the hook.
+TEST(Stress, PipelinedSphinxFaultFree) {
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.pipeline_depth = 8;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  // Fusion really carried traffic: fused ops outnumber fused rounds, i.e.
+  // at least some rounds served more than one op.
+  EXPECT_GT(report.batch_fused_rounds, 0u);
+  EXPECT_GT(report.batch_fused_ops, report.batch_fused_rounds);
+}
+
+TEST(Stress, PipelinedSphinxUnderFaultsAndSplits) {
+  // Deep churn stripes force splits and out-of-place moves under the
+  // in-flight batches; injected CAS losses and stalls reorder everything.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.pipeline_depth = 8;
+  options.churn_keys_per_thread = 96;
+  options.ops_per_thread = 2000;
+  options.faults = true;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.batch_fused_ops, 0u);
+  EXPECT_GT(report.lac_hits, 0u);
+}
+
+TEST(Stress, PipelinedSphinxUnderClientCrashes) {
+  // A crash can cut a batch anywhere: before the fused round, inside it,
+  // or between the serial fallback ops. Ops left with done == false are
+  // resolved by read-back exactly like crashed serial ops -- the outcome
+  // must be the old or the new state, never a torn one.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.pipeline_depth = 8;
+  options.faults = true;
+  options.crash_rate = 0.004;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.client_crashes, 0u);
+  EXPECT_GT(report.batch_fused_ops, 0u);
+}
+
+TEST(Stress, PipelinedBaselinesStayCleanOnSerialFallback) {
+  // SMART/B+ keep the inherited one-op-at-a-time execute_batch; the
+  // harness's batched planning must stay sound over that path too.
+  for (const auto kind :
+       {ycsb::SystemKind::kSmart, ycsb::SystemKind::kBpTree}) {
+    StressOptions options = base_options(kind);
+    options.pipeline_depth = 8;
+    options.threads = 4;
+    options.ops_per_thread = 1000;
+    options.faults = true;
+    const StressReport report = run_stress(options);
+    expect_clean(report);
+    EXPECT_EQ(report.batch_fused_ops, 0u);  // no fusion engine here
+  }
+}
+
 // Scan-vs-mutator linearizability: scanners sweep a stripe of immortal
 // "stable" keys while mutators split, grow, and shrink the subtrees
 // between them (inserting/removing interleaved keys forces leaf splits,

@@ -191,6 +191,115 @@ TEST(Runner, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.ops_per_sec, b.ops_per_sec);
 }
 
+// ---- pipelined client -----------------------------------------------------------
+
+TEST(Runner, PipelineDepth1IsBitIdenticalToSerialDefault) {
+  // --pipeline-depth=1 must be the pre-pipelining client bit for bit: a
+  // default-options run (what every pre-existing caller does) and an
+  // explicit depth-1 run take the identical serial loop, so fixed-seed
+  // runs agree on every round trip, byte, message and derived figure.
+  auto make_result = [](uint32_t depth) {
+    auto cluster = testing::make_test_cluster();
+    SystemSetup setup(SystemKind::kSphinx, *cluster);
+    YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(5000, 9));
+    runner.load(4000, 64, /*workers=*/1);
+    RunOptions options;
+    options.workers = 1;
+    options.ops_per_worker = 400;
+    options.seed = 11;
+    if (depth > 0) options.pipeline_depth = depth;
+    return runner.run(standard_workload('A'), options);
+  };
+  const RunResult def = make_result(0);  // default options, depth untouched
+  const RunResult d1 = make_result(1);   // explicit --pipeline-depth=1
+  EXPECT_EQ(def.net.round_trips, d1.net.round_trips);
+  EXPECT_EQ(def.net.bytes_read, d1.net.bytes_read);
+  EXPECT_EQ(def.net.bytes_written, d1.net.bytes_written);
+  EXPECT_EQ(def.net.messages, d1.net.messages);
+  EXPECT_EQ(def.misses, d1.misses);
+  EXPECT_DOUBLE_EQ(def.ops_per_sec, d1.ops_per_sec);
+  EXPECT_DOUBLE_EQ(def.mean_latency_ns, d1.mean_latency_ns);
+}
+
+TEST(Runner, PipelinedSphinxFusesRoundTrips) {
+  auto make_result = [](uint32_t depth) {
+    auto cluster = testing::make_test_cluster();
+    SystemSetup setup(SystemKind::kSphinx, *cluster);
+    YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(5000, 9));
+    runner.load(4000, 64);
+    // Warm the CN caches with a short serial pass (the paper's and the
+    // bench harness's methodology) so the measured runs compare fusion at
+    // steady state rather than LAC fill-rate.
+    RunOptions warm;
+    warm.workers = 6;
+    warm.ops_per_worker = 200;
+    runner.run(standard_workload('C'), warm);
+    RunOptions options;
+    options.workers = 6;
+    options.ops_per_worker = 400;
+    options.pipeline_depth = depth;
+    return runner.run(standard_workload('C'), options);
+  };
+  const RunResult d1 = make_result(1);
+  const RunResult d8 = make_result(8);
+  // Same ops, same outcomes -- but warm LAC hits from different ops merge
+  // into shared doorbell rounds, collapsing round trips and lifting
+  // throughput well past the fluid NIC model's reach at this scale.
+  EXPECT_EQ(d8.total_ops, d1.total_ops);
+  EXPECT_EQ(d8.misses, 0u);
+  EXPECT_LT(2 * d8.net.round_trips, d1.net.round_trips);
+  EXPECT_GT(d8.ops_per_sec, d1.ops_per_sec);
+  // Attribution stays exact under fusion.
+  EXPECT_EQ(d8.net.rtts_sum_by_phase(), d8.net.round_trips);
+}
+
+TEST(Runner, BaselinesKeepSerialBehaviorUnderPipelining) {
+  // SMART and the B+ tree keep the inherited naive serial execute_batch
+  // loop (ycsb/systems.cpp): depth 8 must not change their protocol
+  // traffic at all, keeping the 4-system comparison honest.
+  for (SystemKind kind : {SystemKind::kSmart, SystemKind::kBpTree}) {
+    auto make_result = [&](uint32_t depth) {
+      auto cluster = testing::make_test_cluster();
+      SystemSetup setup(kind, *cluster);
+      YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(3000, 4));
+      runner.load(3000, 64, /*workers=*/1);
+      RunOptions options;
+      options.workers = 1;
+      options.ops_per_worker = 300;
+      options.seed = 11;
+      options.pipeline_depth = depth;
+      return runner.run(standard_workload('C'), options);
+    };
+    const RunResult d1 = make_result(1);
+    const RunResult d8 = make_result(8);
+    EXPECT_EQ(d1.net.round_trips, d8.net.round_trips)
+        << system_kind_name(kind);
+    EXPECT_EQ(d1.net.bytes_read, d8.net.bytes_read)
+        << system_kind_name(kind);
+    EXPECT_EQ(d8.misses, 0u) << system_kind_name(kind);
+  }
+}
+
+TEST(Runner, PipelinedWorkloadDResolvesInsertOutcomes) {
+  // Latest-distribution inserts ride inside batches: every insert's
+  // outcome must still advance the visible set and the frontier exactly
+  // once, and reads of freshly inserted keys stay near-miss-free.
+  auto cluster = testing::make_test_cluster();
+  SystemSetup setup(SystemKind::kSphinx, *cluster);
+  YcsbRunner runner(*cluster, setup.factory(), generate_u64_keys(20000, 9));
+  runner.load(10000, 64);
+  RunOptions options;
+  options.workers = 6;
+  options.ops_per_worker = 500;
+  options.pipeline_depth = 8;
+  const RunResult result = runner.run(standard_workload('D'), options);
+  EXPECT_GT(runner.visible_keys(), 10000u);
+  EXPECT_EQ(result.insert_failures, 0u);
+  EXPECT_EQ(result.insert_overflow, 0u);
+  EXPECT_LT(static_cast<double>(result.misses),
+            0.02 * static_cast<double>(result.total_ops));
+}
+
 // ---- end-to-end matrix: every system x every workload ----------------------------
 
 struct MatrixCase {

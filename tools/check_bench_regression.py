@@ -17,6 +17,12 @@ Checks, per (system, dataset, workload) record:
   * phase attribution sums exactly to round_trips (when phase_rtts present).
   * every seed record still exists in the current run (a missing system or
     workload is a silent coverage loss, not a pass).
+  * pipelined rows (workload suffixed ":pN") hold their wins against the
+    same run's serial sibling: rtts_per_op must not exceed the sibling's
+    by more than the tolerance (fusion can only merge round trips, never
+    add them), and Sphinx YCSB-C at depth >= 8 must keep >= 2x the
+    sibling's ops_per_sec -- the pipelining acceptance bar, locked in so
+    the batch engine can't silently degrade to the serial loop.
 
 Exit status: 0 clean, 1 any check failed, 2 usage/IO error.
 """
@@ -86,6 +92,32 @@ def main(argv):
                 failures.append(
                     "%s/%s/%s: sum(phase_rtts)=%d != round_trips=%d"
                     % (k + (total, c["round_trips"])))
+        # Pipelined-row rules, against the serial sibling in the SAME run
+        # (so host-speed drift cancels out).
+        system, dataset, workload = k
+        if ":p" not in workload:
+            continue
+        base_wl, _, depth_str = workload.rpartition(":p")
+        try:
+            depth = int(depth_str)
+        except ValueError:
+            continue
+        sib = cur.get((system, dataset, base_wl))
+        if sib is None:
+            failures.append(
+                "%s/%s/%s: no depth-1 sibling record to compare against" % k)
+            continue
+        if sib["rtts_per_op"] > 0 and (
+                c["rtts_per_op"] >
+                sib["rtts_per_op"] * (1.0 + tolerance)):
+            failures.append(
+                "%s/%s/%s: pipelined rtts_per_op %.4f exceeds serial %.4f"
+                % (k + (c["rtts_per_op"], sib["rtts_per_op"])))
+        if (system == "Sphinx" and base_wl == "YCSB-C" and depth >= 8
+                and c["ops_per_sec"] < 2.0 * sib["ops_per_sec"]):
+            failures.append(
+                "%s/%s/%s: pipelined ops_per_sec %.0f < 2x serial %.0f"
+                % (k + (c["ops_per_sec"], sib["ops_per_sec"])))
 
     if failures:
         sys.stderr.write("bench regression check FAILED:\n")

@@ -30,12 +30,17 @@ inline uint64_t mn_bytes_for_keys(uint64_t keys, uint32_t num_mns) {
   return per_mn;
 }
 
-inline std::unique_ptr<mem::Cluster> make_cluster(uint64_t keys,
-                                                  bool batching = true) {
+// `mn_bytes_override` (--mem-budget) replaces the per-MN auto-sizing; a
+// deliberately small budget drives the allocator into degraded mode
+// (alloc_failures / alloc_degraded_ops instead of crashes).
+inline std::unique_ptr<mem::Cluster> make_cluster(
+    uint64_t keys, bool batching = true, uint64_t mn_bytes_override = 0) {
   rdma::NetworkConfig config;  // paper testbed: 3 CNs, 3 MNs
   config.doorbell_batching = batching;
-  return std::make_unique<mem::Cluster>(config,
-                                        mn_bytes_for_keys(keys, config.num_mns));
+  const uint64_t mn_bytes = mn_bytes_override > 0
+                                ? mn_bytes_override
+                                : mn_bytes_for_keys(keys, config.num_mns);
+  return std::make_unique<mem::Cluster>(config, mn_bytes);
 }
 
 inline ycsb::SystemKind parse_system(const std::string& name) {

@@ -1,6 +1,9 @@
-// Reproduces Fig. 4 of the paper: YCSB throughput (workloads A, B, C, D, E
-// and LOAD) on the u64 and email datasets for Sphinx, SMART (20 MB cache),
-// SMART+C (200 MB cache) and the ART baseline.
+// Reproduces Fig. 4 of the paper: YCSB throughput (workloads A, B, C, D, E,
+// F and LOAD) on the u64 and email datasets for Sphinx, SMART (20 MB cache),
+// SMART+C (200 MB cache) and the ART baseline. --workloads also accepts a
+// csv mixing letters with "churn" (20/40/40 read/insert/remove), the
+// epoch-reclamation stress mix; --mem-budget shrinks the per-MN heap to
+// drive the allocator into degraded mode instead of crashing.
 //
 // The paper loads 60 M keys on a 3x128 GB testbed; the default here is a
 // proportional scale-down that regenerates the figure's *shape* (who wins,
@@ -9,6 +12,7 @@
 // Usage:
 //   bench_ycsb [--keys=1000000] [--ops=600] [--workers=192]
 //              [--datasets=u64,email] [--workloads=ABCDEL] [--warmup=1]
+//              [--mem-budget=<bytes per MN>]
 //              [--faults=0.02] [--crash-rate=0.0001] [--fault-seed=42]
 //              [--json=out.json] [--trace=out.trace.json]
 //              [--pec-budget=<bytes>] [--no-pec]
@@ -160,6 +164,27 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& recs) {
     w.field("misses", res.misses);
     w.field("insert_failures", res.insert_failures);
     w.field("client_crashes", res.client_crashes);
+    // Churn/RMW op breakdown (nonzero only for workloads with remove/rmw
+    // shares). remove_misses must be zero in fault-free, memory-ample runs.
+    w.field("remove_ops", res.remove_ops);
+    w.field("remove_misses", res.remove_misses);
+    w.field("remove_underflow", res.remove_underflow);
+    w.field("reused_key_inserts", res.reused_key_inserts);
+    w.field("rmw_ops", res.rmw_ops);
+    w.field("rmw_misses", res.rmw_misses);
+    // Epoch-reclamation flow and degraded-mode counters (cluster-wide
+    // deltas for this phase). The gate requires churn rows to actually
+    // recycle (reclaimed_blocks > 0) with bounded retired_bytes_outstanding,
+    // and alloc_underflows to be zero everywhere.
+    w.field("alloc_failures", res.alloc_failures);
+    w.field("alloc_degraded_ops", res.alloc_degraded_ops);
+    w.field("reclaimed_blocks", res.reclaimed_blocks);
+    w.field("retired_bytes_total", res.retired_bytes_total);
+    w.field("retired_bytes_outstanding", res.retired_bytes_outstanding);
+    w.field("leaked_bytes", res.leaked_bytes);
+    w.field("alloc_underflows", res.alloc_underflows);
+    w.field("epoch_advances", res.epoch_advances);
+    w.field("expired_epoch_slots", res.expired_epoch_slots);
     // Per-phase RTT/byte attribution; entries sum exactly to round_trips /
     // bytes_read+bytes_written (verified after every run).
     w.raw_field("phase_rtts", phase_breakdown_json(res.net.rtts_by_phase));
@@ -196,7 +221,37 @@ int run(int argc, char** argv) {
   const uint64_t ops_per_worker = flags.get_u64("ops", 600);
   const uint32_t workers = static_cast<uint32_t>(flags.get_u64("workers", 192));
   const std::string datasets = flags.get_string("datasets", "u64,email");
-  const std::string workloads = flags.get_string("workloads", "ABCDEL");
+  // Workloads: either the legacy letter string ("ABCDEL") or a csv of
+  // tokens mixing letters with named mixes ("A,B,churn"). Letters map to
+  // standard_workload; "churn" is the reclamation-stress mix.
+  const std::string workloads_flag = flags.get_string("workloads", "ABCDEL");
+  std::vector<std::string> workload_tokens;
+  if (workloads_flag.find(',') == std::string::npos &&
+      workloads_flag.find("churn") == std::string::npos) {
+    for (char c : workloads_flag) workload_tokens.emplace_back(1, c);
+  } else {
+    std::stringstream ws(workloads_flag);
+    std::string tok;
+    while (std::getline(ws, tok, ',')) {
+      if (!tok.empty()) workload_tokens.push_back(tok);
+    }
+  }
+  for (const std::string& tok : workload_tokens) {
+    if (tok != "churn" &&
+        (tok.size() != 1 ||
+         std::string("ABCDEFLabcdefl").find(tok[0]) == std::string::npos)) {
+      std::cerr << "--workloads: unknown token '" << tok << "'\n";
+      return 2;
+    }
+  }
+  auto spec_for = [](const std::string& tok) {
+    return tok == "churn" ? ycsb::churn_workload()
+                          : ycsb::standard_workload(tok[0]);
+  };
+  // --mem-budget=<bytes>: per-MN region size override. Small budgets make
+  // run-phase allocations fail; the expected outcome is degraded ops, not
+  // crashes (the degraded-mode smoke asserts exactly that).
+  const uint64_t mem_budget = flags.get_u64("mem-budget", 0);
   const bool warmup = flags.get_bool("warmup", true);
   const double fault_rate = flags.get_double("faults", 0.0);
   const double crash_rate = flags.get_double("crash-rate", 0.0);
@@ -270,12 +325,12 @@ int run(int argc, char** argv) {
 
     TablePrinter table({"workload", "Sphinx", "SMART", "SMART+C", "ART",
                         "best-vs-ART"});
-    std::vector<std::vector<double>> tput(workloads.size(),
+    std::vector<std::vector<double>> tput(workload_tokens.size(),
                                           std::vector<double>(4, 0.0));
 
     int sys_col = 0;
     for (const ycsb::SystemKind kind : paper_systems()) {
-      auto cluster = make_cluster(pool);
+      auto cluster = make_cluster(pool, /*batching=*/true, mem_budget);
       ycsb::SystemSetup setup(kind, *cluster, cache_budget_for(kind, num_keys),
                               pec_budget, lac_budget);
       setup.set_scan_jump(scan_jump);
@@ -308,21 +363,21 @@ int run(int argc, char** argv) {
           [&recovery_agg](KvIndex& index, uint32_t) { recovery_agg.add(index); });
 
       int row = 0;
-      for (char w : workloads) {
+      for (const std::string& wtok : workload_tokens) {
         for (const uint32_t depth : depths) {
         recovery_agg.reset();
         ycsb::RunOptions options;
         options.workers = workers;
         options.pipeline_depth = depth;
         options.ops_per_worker =
-            w == 'E' ? std::max<uint64_t>(ops_per_worker / 10, 50)
-                     : ops_per_worker;
+            (wtok == "E" || wtok == "e")
+                ? std::max<uint64_t>(ops_per_worker / 10, 50)
+                : ops_per_worker;
         if (!trace_path.empty()) {
           trace_recorders.emplace_back();
           options.trace = &trace_recorders.back();
         }
-        ycsb::RunResult result =
-            runner.run(ycsb::standard_workload(w), options);
+        ycsb::RunResult result = runner.run(spec_for(wtok), options);
         // Pipelined rows keep distinct (system, dataset, workload) keys in
         // the JSON records and the regression gate.
         if (depth > 1) result.workload += ":p" + std::to_string(depth);
@@ -367,6 +422,26 @@ int run(int argc, char** argv) {
                     << " leaf drops, " << result.scan_truncated
                     << " truncated)\n";
         }
+        if (result.remove_ops > 0 || result.rmw_ops > 0) {
+          std::cerr << "    churn: " << result.remove_ops << " removes ("
+                    << result.remove_misses << " misses), "
+                    << result.reused_key_inserts << " reused-key inserts, "
+                    << result.rmw_ops << " rmw (" << result.rmw_misses
+                    << " misses)\n";
+        }
+        if (result.retired_bytes_total > 0 || result.alloc_failures > 0) {
+          std::cerr << "    reclaim: " << result.reclaimed_blocks
+                    << " blocks recycled, "
+                    << (result.retired_bytes_total >> 10) << " KiB retired ("
+                    << (result.retired_bytes_outstanding >> 10)
+                    << " KiB outstanding, " << (result.leaked_bytes >> 10)
+                    << " KiB leaked), " << result.epoch_advances
+                    << " epoch advances, " << result.expired_epoch_slots
+                    << " slots expired, " << result.alloc_failures
+                    << " alloc failures -> " << result.alloc_degraded_ops
+                    << " degraded ops, " << result.alloc_underflows
+                    << " accounting underflows\n";
+        }
         if (result.client_crashes > 0 ||
             recovery_agg.recovery.lock_reclaims > 0) {
           std::cerr << "    crashes: " << result.client_crashes
@@ -396,10 +471,10 @@ int run(int argc, char** argv) {
     }
 
     int row = 0;
-    for (char w : workloads) {
+    for (const std::string& wtok : workload_tokens) {
       const auto& r = tput[static_cast<size_t>(row)];
       const double best = std::max({r[0], r[1], r[2]});
-      table.add_row({ycsb::standard_workload(w).name,
+      table.add_row({spec_for(wtok).name,
                      TablePrinter::fmt_mops(r[0]), TablePrinter::fmt_mops(r[1]),
                      TablePrinter::fmt_mops(r[2]), TablePrinter::fmt_mops(r[3]),
                      r[3] > 0 ? TablePrinter::fmt_ratio(best / r[3]) : "-"});

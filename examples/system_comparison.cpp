@@ -27,9 +27,13 @@ int main(int argc, char** argv) {
 
   // One table per workload: C (100% reads) shows the cache-tier fast path
   // at its best; B (95/5 read/update) shows it surviving a write mix that
-  // continuously moves and relocks leaves.
-  const char kWorkloads[] = {'C', 'B'};
+  // continuously moves and relocks leaves; F (50/50 read/RMW) doubles the
+  // write pressure and chains every write behind a dependent read.
+  const char kWorkloads[] = {'C', 'B', 'F'};
+  constexpr size_t kNumWorkloads = sizeof(kWorkloads) / sizeof(kWorkloads[0]);
   TablePrinter tables[] = {
+      TablePrinter({"system", "CN cache", "throughput", "rtts/op",
+                    "read-B/op", "mean-latency"}),
       TablePrinter({"system", "CN cache", "throughput", "rtts/op",
                     "read-B/op", "mean-latency"}),
       TablePrinter({"system", "CN cache", "throughput", "rtts/op",
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
     warm.ops_per_worker = 200;
     runner.run(ycsb::standard_workload('C'), warm);
 
-    for (size_t t = 0; t < 2; ++t) {
+    for (size_t t = 0; t < kNumWorkloads; ++t) {
       ycsb::RunOptions options;
       options.workers = workers;
       options.ops_per_worker = ops;
@@ -70,10 +74,11 @@ int main(int argc, char** argv) {
            TablePrinter::fmt_us(r.mean_latency_ns)});
     }
   }
-  for (size_t t = 0; t < 2; ++t) {
+  for (size_t t = 0; t < kNumWorkloads; ++t) {
     std::cout << "## " << ycsb::standard_workload(kWorkloads[t]).name
-              << (kWorkloads[t] == 'C' ? " (zipfian reads)"
-                                       : " (95% reads / 5% updates)")
+              << (kWorkloads[t] == 'C'   ? " (zipfian reads)"
+                  : kWorkloads[t] == 'B' ? " (95% reads / 5% updates)"
+                                         : " (50% reads / 50% RMW)")
               << "\n";
     tables[t].print();
     std::cout << "\n";

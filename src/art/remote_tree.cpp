@@ -181,6 +181,7 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
 // ---- search -----------------------------------------------------------------
 
 bool RemoteTree::search(Slice key, std::string* value_out) {
+  mem::EpochPin epoch(allocator_);
   const TerminatedKey tkey(key);
   bool allow_custom = true;
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
@@ -235,10 +236,13 @@ RemoteTree::NewLeaf RemoteTree::make_leaf(const TerminatedKey& key,
                                           rdma::DoorbellBatch* batch) {
   NewLeaf leaf;
   leaf.units = leaf_units_for(key.size(), static_cast<uint32_t>(value.size()));
-  leaf.image = LeafImage::build(key.full(), value, leaf.units);
   const uint32_t mn = mn_for_prefix(prefix_hash(key.full()));
-  leaf.addr = allocator_.alloc(mn, leaf.units * kLeafUnitBytes,
-                               mem::AllocTag::kLeaf);
+  const mem::AllocResult r = allocator_.try_alloc(
+      mn, leaf.units * kLeafUnitBytes, mem::AllocTag::kLeaf);
+  if (!r.ok) return leaf;  // ok=false: heap exhausted, nothing written
+  leaf.addr = r.addr;
+  leaf.ok = true;
+  leaf.image = LeafImage::build(key.full(), value, leaf.units);
   batch->add_write(leaf.addr, leaf.image.buf().data(),
                    leaf.units * kLeafUnitBytes,
                    rdma::FaultSite::kPayloadWrite);
@@ -246,9 +250,11 @@ RemoteTree::NewLeaf RemoteTree::make_leaf(const TerminatedKey& key,
 }
 
 bool RemoteTree::insert(Slice key, Slice value) {
+  mem::EpochPin epoch(allocator_);
   const TerminatedKey tkey(key);
   assert(leaf_units_for(tkey.size(), static_cast<uint32_t>(value.size())) <
          64);
+  alloc_failed_ = false;
   bool allow_custom = true;
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
@@ -320,6 +326,7 @@ bool RemoteTree::insert(Slice key, Slice value) {
         if (r >= 4) allow_custom = false;
         break;
     }
+    if (alloc_failed_) return fail_degraded();
   }
   stats_.recovery.retry_timeouts++;
   stats_.ops_failed++;
@@ -377,6 +384,10 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
   // One round trip: leaf payload write piggybacked with the lock CAS.
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
+  if (!leaf.ok) {
+    alloc_failed_ = true;  // nothing written, no lock taken
+    return false;
+  }
   const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
@@ -466,12 +477,22 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
   InnerImage m = InnerImage::create(mtype, key.prefix(cpl));
   const uint32_t m_bytes = inner_alloc_bytes(mtype);
   const uint32_t m_mn = mn_for_prefix(m.prefix_hash_full());
-  rdma::GlobalAddr m_addr =
-      allocator_.alloc(m_mn, m_bytes, mem::AllocTag::kInnerNode);
+  const mem::AllocResult m_alloc =
+      allocator_.try_alloc(m_mn, m_bytes, mem::AllocTag::kInnerNode);
+  if (!m_alloc.ok) {
+    alloc_failed_ = true;
+    return false;
+  }
+  const rdma::GlobalAddr m_addr = m_alloc.addr;
 
   // One round trip: leaf write + M write + parent lock CAS.
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
+  if (!leaf.ok) {
+    allocator_.free(m_addr, m_bytes, mem::AllocTag::kInnerNode);
+    alloc_failed_ = true;
+    return false;
+  }
   const uint64_t leaf_slot = pack_leaf_slot(b_new, leaf.units, leaf.addr);
   const uint64_t moved_slot = slot_with_pkey(child_word, b_old);
   if (mtype == NodeType::kN256) {
@@ -558,6 +579,10 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
 
   rdma::DoorbellBatch pre(endpoint_);
   NewLeaf leaf = make_leaf(key, value, &pre);
+  if (!leaf.ok) {
+    alloc_failed_ = true;
+    return false;
+  }
   const uint64_t locked = lease_inner_locked(seen);
   const size_t lock_idx =
       pre.add_cas(node.addr, seen, locked, rdma::FaultSite::kLockAcquire);
@@ -599,14 +624,16 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
       fresh.set_header(seen);
       note_inner_write(node.addr, fresh);
       note_leaf_at(key.full(), leaf.addr, leaf.units);
-      // The dead leaf's storage is retired (accounting only; memory is not
-      // reused to keep stale readers safe -- see DESIGN.md).
-      cluster_.alloc_stats().sub(
-          mem::AllocTag::kLeaf,
+      // This CAS removed the last live link to the dead leaf, which makes
+      // this client its retirer: the remove that invalidated it only
+      // retires when its own slot-clear lands (otherwise the stale slot
+      // would dangle into a recycled block), so an Invalid leaf still
+      // linked here is unowned until this replacement unlinks it.
+      allocator_.retire(
+          slot_addr(node.taken_word),
           static_cast<uint64_t>(slot_leaf_units(node.taken_word)) *
               kLeafUnitBytes,
-          static_cast<uint64_t>(slot_leaf_units(node.taken_word)) *
-              kLeafUnitBytes);
+          mem::AllocTag::kLeaf);
     }
   } else {
     unlock_node(node.addr, locked, seen);
@@ -640,8 +667,14 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
 
   InnerImage grown = fresh_n.grown_copy(new_type);
   const uint32_t grown_bytes = inner_alloc_bytes(new_type);
-  rdma::GlobalAddr grown_addr = allocator_.alloc(
+  const mem::AllocResult grown_alloc = allocator_.try_alloc(
       node.addr.mn(), grown_bytes, mem::AllocTag::kInnerNode);
+  if (!grown_alloc.ok) {
+    unlock_node(node.addr, locked_n, seen_n);
+    alloc_failed_ = true;
+    return false;
+  }
+  const rdma::GlobalAddr grown_addr = grown_alloc.addr;
 
   // One round trip: write the replacement + lock the parent.
   const uint64_t seen_p = parent.image.header();
@@ -704,18 +737,19 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
   }
 
   // Retire the old node: Invalid status sends late arrivals into a retry.
-  // Its memory is intentionally not reused (stale readers may still fetch
-  // it); only the accounting is released. A crash before this write leaves
-  // the old node Locked *and* detached -- the reclaimer's reachability
-  // probe restores it to Invalid, never Idle.
+  // The block enters the epoch quarantine and is recycled once every
+  // worker has passed this epoch (stamp+2 rule, memnode/epoch.h); readers
+  // that still reach the recycled address through a stale pointer fail the
+  // type/depth/prefix validation and retry. A crash before this write
+  // leaves the old node Locked *and* detached -- the reclaimer's
+  // reachability probe restores it to Invalid, never Idle.
   {
     rdma::PhaseScope retire_scope(endpoint_, rdma::Phase::kInnerWrite);
     endpoint_.write64(node.addr, with_status(seen_n, NodeStatus::kInvalid),
                       rdma::FaultSite::kLockRelease);
   }
-  cluster_.alloc_stats().sub(mem::AllocTag::kInnerNode,
-                             inner_alloc_bytes(fresh_n.type()),
-                             inner_alloc_bytes(fresh_n.type()));
+  allocator_.retire(node.addr, inner_alloc_bytes(fresh_n.type()),
+                    mem::AllocTag::kInnerNode);
 
   fresh_p.set_slot(static_cast<uint32_t>(idx), new_slot);
   fresh_p.set_header(seen_p);
@@ -765,7 +799,9 @@ bool RemoteTree::recover_leaf_key(rdma::GlobalAddr addr, NodeType type,
 // ---- update -----------------------------------------------------------------
 
 bool RemoteTree::update(Slice key, Slice value) {
+  mem::EpochPin epoch(allocator_);
   const TerminatedKey tkey(key);
+  alloc_failed_ = false;
   bool allow_custom = true;
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
@@ -849,6 +885,16 @@ bool RemoteTree::update(Slice key, Slice value) {
         if (header_status(seen_p) == NodeStatus::kIdle) {
           rdma::DoorbellBatch pre(endpoint_);
           NewLeaf leaf = make_leaf(tkey, value, &pre);
+          if (!leaf.ok) {
+            // Release the leaf lock below and abandon the op (degraded).
+            alloc_failed_ = true;
+            {
+              rdma::PhaseScope lock_scope(endpoint_, rdma::Phase::kLock);
+              endpoint_.cas(d.leaf_addr, locked, seen, nullptr,
+                            rdma::FaultSite::kLockRelease);
+            }
+            return fail_degraded();
+          }
           const uint64_t locked_p = lease_inner_locked(seen_p);
           const size_t lock_idx = pre.add_cas(parent.addr, seen_p, locked_p,
                                       rdma::FaultSite::kLockAcquire);
@@ -907,19 +953,22 @@ bool RemoteTree::update(Slice key, Slice value) {
           note_busy_inner(tkey, parent.addr, seen_p);
         }
         if (done) {
-          // Old leaf: Locked -> Invalid; storage retired (not reused). A
-          // crash before this write leaves the old leaf locked *and*
-          // detached; the reclaimer's reachability probe restores Invalid.
+          // Old leaf: Locked -> Invalid, then into the epoch quarantine
+          // (recycled once every worker passes this epoch). A stale reader
+          // that reaches the recycled block fails the key/CRC validation
+          // and retries. A crash before this write leaves the old leaf
+          // locked *and* detached; the reclaimer's reachability probe
+          // restores Invalid.
           {
             rdma::PhaseScope retire_scope(endpoint_, rdma::Phase::kLeafWrite);
             endpoint_.write64(d.leaf_addr,
                               with_status(seen, NodeStatus::kInvalid),
                               rdma::FaultSite::kLockRelease);
           }
-          cluster_.alloc_stats().sub(
-              mem::AllocTag::kLeaf,
+          allocator_.retire(
+              d.leaf_addr,
               static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes,
-              static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes);
+              mem::AllocTag::kLeaf);
           return true;
         }
         // Release the leaf lock and retry.
@@ -962,6 +1011,7 @@ bool RemoteTree::update(Slice key, Slice value) {
 // ---- remove -----------------------------------------------------------------
 
 bool RemoteTree::remove(Slice key) {
+  mem::EpochPin epoch(allocator_);
   const TerminatedKey tkey(key);
   bool allow_custom = true;
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
@@ -996,8 +1046,14 @@ bool RemoteTree::remove(Slice key) {
         // The leaf is Invalid as of the CAS above: purge this CN's cached
         // binding at the linearization point.
         note_leaf_retired(tkey.full(), d.leaf_addr);
-        // Best-effort slot cleanup under the parent lock; a leftover slot
-        // pointing at an Invalid leaf reads as absent everywhere.
+        // Slot cleanup under the parent lock. Pre-reclamation this was
+        // best-effort ("an Invalid leaf reads as absent everywhere"); with
+        // recycling, a block may only enter quarantine once its last live
+        // link is gone -- a leftover slot would otherwise dangle into a
+        // recycled block holding some other key. So retirement belongs to
+        // whoever unlinks the leaf: this clear when it lands, otherwise
+        // the insert_replace_invalid_leaf that later swaps the stale slot.
+        bool unlinked = false;
         PathEntry& parent = d.path.back();
         const uint64_t seen_p = parent.image.header();
         uint64_t locked_p = 0;
@@ -1012,10 +1068,10 @@ bool RemoteTree::remove(Slice key) {
           if (idx >= 0 &&
               fresh.slot(static_cast<uint32_t>(idx)) == parent.taken_word) {
             rdma::DoorbellBatch batch(endpoint_);
-            batch.add_cas(parent.addr.plus(
-                              kInnerHeaderBytes +
-                              static_cast<uint64_t>(idx) * 8),
-                          parent.taken_word, 0);
+            const size_t clear_idx = batch.add_cas(
+                parent.addr.plus(kInnerHeaderBytes +
+                                 static_cast<uint64_t>(idx) * 8),
+                parent.taken_word, 0);
             batch.add_cas(parent.addr, locked_p, seen_p,
                           rdma::FaultSite::kLockRelease);
             {
@@ -1023,6 +1079,7 @@ bool RemoteTree::remove(Slice key) {
                                              rdma::Phase::kInnerWrite);
               batch.execute();
             }
+            unlinked = batch.cas_ok(clear_idx);
             fresh.set_slot(static_cast<uint32_t>(idx), 0);
             fresh.set_header(seen_p);
             note_inner_write(parent.addr, fresh);
@@ -1030,10 +1087,18 @@ bool RemoteTree::remove(Slice key) {
             unlock_node(parent.addr, locked_p, seen_p);
           }
         }
-        cluster_.alloc_stats().sub(
-            mem::AllocTag::kLeaf,
-            static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes,
-            static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes);
+        if (unlinked) {
+          // Last live link removed by our CAS: the leaf enters the epoch
+          // quarantine and is recycled once every worker passes this
+          // epoch. When the clear did NOT land (parent busy/grown, or the
+          // slot already swapped), the leaf stays Invalid and linked; it
+          // is retired by the replacement that eventually unlinks it, or
+          // leaks if none ever does (bounded by clear-failure rate).
+          allocator_.retire(
+              d.leaf_addr,
+              static_cast<uint64_t>(d.leaf.units()) * kLeafUnitBytes,
+              mem::AllocTag::kLeaf);
+        }
         return true;
       }
       case DescendStatus::kFoundInvalidLeaf:
@@ -1230,6 +1295,7 @@ constexpr uint32_t kMaxScanItemRetries = 4;
 
 size_t RemoteTree::scan(Slice start_key, size_t count,
                         std::vector<std::pair<std::string, std::string>>* out) {
+  mem::EpochPin epoch(allocator_);
   out->clear();
   last_scan_truncated_ = false;
   if (count == 0) return 0;
@@ -1242,6 +1308,7 @@ size_t RemoteTree::scan(Slice start_key, size_t count,
 size_t RemoteTree::scan_range(
     Slice low_key, Slice high_key, size_t max_results,
     std::vector<std::pair<std::string, std::string>>* out) {
+  mem::EpochPin epoch(allocator_);
   out->clear();
   last_scan_truncated_ = false;
   if (max_results == 0 || high_key.compare(low_key) < 0) return 0;

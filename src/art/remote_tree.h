@@ -76,6 +76,9 @@ struct TreeStats {
   uint64_t invalid_node_retries = 0;
   uint64_t start_fallbacks = 0;  // custom start abandoned for root descent
   uint64_t ops_failed = 0;       // retries exhausted (should stay 0)
+  // Mutations abandoned because the MN heap was exhausted even after
+  // reclamation (degraded mode, not a crash; see remote_allocator.h).
+  uint64_t alloc_degraded_ops = 0;
   rdma::RecoveryStats recovery;  // lease expiries / reclaims / timeouts
   rdma::BackoffHistogram backoff;
   rdma::ScanStats scan;          // frontier-scan engine counters
@@ -287,13 +290,29 @@ class RemoteTree : public KvIndex {
   rdma::LockWatch lock_watch_;
 
   // Creates + remotely writes a leaf; returns its address and slot word.
+  // ok=false when the MN heap is exhausted (nothing was written or leased);
+  // the op must abandon via fail_degraded() instead of spinning.
   struct NewLeaf {
     rdma::GlobalAddr addr;
     uint32_t units = 0;
+    bool ok = false;
     LeafImage image;  // keeps the write buffer alive until batch execute
   };
   NewLeaf make_leaf(const TerminatedKey& key, Slice value,
                     rdma::DoorbellBatch* batch);
+
+  // Records one mutation abandoned for lack of remote memory and returns
+  // false (the op's result). Set by the alloc sites via alloc_failed_.
+  bool fail_degraded() {
+    alloc_failed_ = false;
+    stats_.alloc_degraded_ops++;
+    cluster_.alloc_stats().note_degraded_op();
+    return false;
+  }
+  // Latched by insert/split/switch/update helpers when try_alloc fails, so
+  // the op's retry loop exits instead of burning its budget on a condition
+  // that reclamation already failed to clear.
+  bool alloc_failed_ = false;
 
   NodeType new_inner_type() const {
     return config_.homogeneous_nodes ? NodeType::kN256 : NodeType::kN4;

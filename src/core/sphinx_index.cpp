@@ -29,6 +29,12 @@ bool SphinxIndex::search(Slice key, std::string* value_out) {
   // same verbs, clocks and stats (the --no-lac A/B contract).
   if (lac_ == nullptr) return RemoteTree::search(key, value_out);
 
+  // The speculative leaf read below dereferences a cached remote address
+  // with no descent backing it; the epoch pin keeps any concurrently
+  // retired leaf out of the recycler until this op quiesces (the nested
+  // pin inside a RemoteTree fallback collapses via pin_depth).
+  mem::EpochPin epoch(allocator_);
+
   const art::TerminatedKey tkey(key);
   const uint64_t full_hash = tkey.hash_of_prefix(tkey.size());
   endpoint_.advance_local(config_.lac_probe_ns);
@@ -139,6 +145,11 @@ bool SphinxIndex::search(Slice key, std::string* value_out) {
 
 void SphinxIndex::execute_batch(BatchOp* ops, size_t count) {
   sstats_.batch_ops += count;
+  // One pin brackets the whole batch: quiescence is announced at batch
+  // boundaries (per-op pins inside the serial pass nest and collapse), so
+  // the cross-op fused leaf reads in stage 2 can never chase a block that
+  // was recycled mid-batch.
+  mem::EpochPin epoch(allocator_);
   // Without a LAC there is no speculative leaf read to fuse across ops
   // (every search resolves through SFC/PEC/INHT descents), and a
   // single-op batch has nothing to merge: both run the honest serial loop.

@@ -18,11 +18,12 @@
 //
 // Entries are populated on every successful point read, write-side leaf
 // install, and scan leaf visit; retired leaves (remove / out-of-place
-// update) purge their entry at the linearization point. Linked leaves are
-// never recycled (retirement releases accounting only, see DESIGN.md), so
-// an entry can go stale -- the leaf turns Invalid or the key moves to a new
-// block -- but the address itself can never be reused for unrelated bytes
-// that still pass the key compare.
+// update) purge their entry at the linearization point. Retired leaves
+// *are* recycled, but only after stamp+2 epochs prove every op that could
+// hold the old reference has quiesced (DESIGN.md sect. 14), so a stale
+// entry can point at a tombstone or even at an unrelated live leaf -- the
+// byte-exact key compare turns both into a clean miss, never a wrong
+// answer (pinned by Reclaim.RecycledLeafBlockIsNeverServedForItsOldKey).
 //
 // Unlike the PEC's {tag, payload} atomic pair, a LAC slot is a single
 // 8-byte word: tag(9) | hot(1) | units(6) | addr(48). The hot set a point

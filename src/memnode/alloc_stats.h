@@ -40,11 +40,19 @@ class AllocStats {
     e.count.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Invariant check: a block must be freed with the tag and sizes it was
+  // allocated with, so no per-tag counter can ever go below zero. Underflow
+  // means a double free or a retire whose bookkeeping diverged from the
+  // alloc -- counted (never wrapped silently) so tests can tripwire on it.
   void sub(AllocTag tag, uint64_t requested, uint64_t padded) {
     auto& e = entries_[static_cast<size_t>(tag)];
-    e.requested.fetch_sub(requested, std::memory_order_relaxed);
-    e.padded.fetch_sub(padded, std::memory_order_relaxed);
-    e.count.fetch_sub(1, std::memory_order_relaxed);
+    const uint64_t pr = e.requested.fetch_sub(requested,
+                                              std::memory_order_relaxed);
+    const uint64_t pp = e.padded.fetch_sub(padded, std::memory_order_relaxed);
+    const uint64_t pc = e.count.fetch_sub(1, std::memory_order_relaxed);
+    if (pr < requested || pp < padded || pc < 1) {
+      underflows_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   uint64_t requested_bytes(AllocTag tag) const {
@@ -75,12 +83,88 @@ class AllocStats {
     return t;
   }
 
+  // --- Reclamation flow (epoch-based quarantine; see epoch.h) ---------
+  // Tagged live bytes above keep counting a quarantined block until it is
+  // actually recycled (quarantined memory is still unavailable); these
+  // counters track the quarantine flow itself.
+
+  void note_retired(uint64_t padded) {
+    retired_blocks_out_.fetch_add(1, std::memory_order_relaxed);
+    retired_bytes_out_.fetch_add(padded, std::memory_order_relaxed);
+    retired_bytes_total_.fetch_add(padded, std::memory_order_relaxed);
+  }
+
+  void note_reclaimed(uint64_t padded) {
+    retired_blocks_out_.fetch_sub(1, std::memory_order_relaxed);
+    retired_bytes_out_.fetch_sub(padded, std::memory_order_relaxed);
+    reclaimed_blocks_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_bytes_.fetch_add(padded, std::memory_order_relaxed);
+  }
+
+  // A crashed client's quarantine bookkeeping dies with it: the blocks are
+  // unreachable but unrecyclable. Moved out of "outstanding" so the leak
+  // tripwire measures the live pipeline, and counted separately.
+  void note_quarantine_leak(uint64_t blocks, uint64_t padded_bytes) {
+    retired_blocks_out_.fetch_sub(blocks, std::memory_order_relaxed);
+    retired_bytes_out_.fetch_sub(padded_bytes, std::memory_order_relaxed);
+    leaked_blocks_.fetch_add(blocks, std::memory_order_relaxed);
+    leaked_bytes_.fetch_add(padded_bytes, std::memory_order_relaxed);
+  }
+
+  void note_alloc_failure() {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_degraded_op() {
+    alloc_degraded_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t retired_blocks_outstanding() const {
+    return retired_blocks_out_.load(std::memory_order_relaxed);
+  }
+  uint64_t retired_bytes_outstanding() const {
+    return retired_bytes_out_.load(std::memory_order_relaxed);
+  }
+  uint64_t retired_bytes_total() const {
+    return retired_bytes_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaimed_blocks() const {
+    return reclaimed_blocks_.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaimed_bytes() const {
+    return reclaimed_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t leaked_blocks() const {
+    return leaked_blocks_.load(std::memory_order_relaxed);
+  }
+  uint64_t leaked_bytes() const {
+    return leaked_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t alloc_failures() const {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t alloc_degraded_ops() const {
+    return alloc_degraded_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t underflows() const {
+    return underflows_.load(std::memory_order_relaxed);
+  }
+
   void reset() {
     for (auto& e : entries_) {
       e.requested.store(0, std::memory_order_relaxed);
       e.padded.store(0, std::memory_order_relaxed);
       e.count.store(0, std::memory_order_relaxed);
     }
+    retired_blocks_out_.store(0, std::memory_order_relaxed);
+    retired_bytes_out_.store(0, std::memory_order_relaxed);
+    retired_bytes_total_.store(0, std::memory_order_relaxed);
+    reclaimed_blocks_.store(0, std::memory_order_relaxed);
+    reclaimed_bytes_.store(0, std::memory_order_relaxed);
+    leaked_blocks_.store(0, std::memory_order_relaxed);
+    leaked_bytes_.store(0, std::memory_order_relaxed);
+    alloc_failures_.store(0, std::memory_order_relaxed);
+    alloc_degraded_ops_.store(0, std::memory_order_relaxed);
+    underflows_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -90,6 +174,16 @@ class AllocStats {
     std::atomic<uint64_t> count{0};
   };
   std::array<Entry, kNumAllocTags> entries_;
+  std::atomic<uint64_t> retired_blocks_out_{0};
+  std::atomic<uint64_t> retired_bytes_out_{0};
+  std::atomic<uint64_t> retired_bytes_total_{0};
+  std::atomic<uint64_t> reclaimed_blocks_{0};
+  std::atomic<uint64_t> reclaimed_bytes_{0};
+  std::atomic<uint64_t> leaked_blocks_{0};
+  std::atomic<uint64_t> leaked_bytes_{0};
+  std::atomic<uint64_t> alloc_failures_{0};
+  std::atomic<uint64_t> alloc_degraded_ops_{0};
+  std::atomic<uint64_t> underflows_{0};
 };
 
 }  // namespace sphinx::mem

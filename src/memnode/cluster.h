@@ -9,6 +9,7 @@
 
 #include "memnode/alloc_stats.h"
 #include "memnode/consistent_hash.h"
+#include "memnode/epoch.h"
 #include "rdma/endpoint.h"
 #include "rdma/fabric.h"
 
@@ -41,6 +42,7 @@ class Cluster {
   uint32_t num_mns() const { return fabric_.num_mns(); }
   const ConsistentHashRing& ring() const { return ring_; }
   AllocStats& alloc_stats() { return alloc_stats_; }
+  EpochManager& epochs() { return epochs_; }
 
   // Creates a metered endpoint on compute node `cn`.
   rdma::Endpoint make_endpoint(uint32_t cn) {
@@ -67,6 +69,7 @@ class Cluster {
   rdma::Fabric fabric_;
   ConsistentHashRing ring_;
   AllocStats alloc_stats_;
+  EpochManager epochs_;
   uint64_t next_bootstrap_slot_;
 };
 

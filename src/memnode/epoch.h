@@ -1,0 +1,277 @@
+// CN-shared epoch-based reclamation for retired remote blocks.
+//
+// Every client (one RemoteAllocator per worker) holds one slot in the
+// shared EpochManager. At each op/batch boundary the worker pins its slot
+// to the current global epoch, and unpins (announces quiescence) when the
+// op completes. Retired blocks are quarantined stamped with the epoch at
+// retire time; a block with stamp E may be recycled only once the global
+// epoch has reached E+2:
+//
+//   * the epoch can only advance from E to E+1 when every pinned slot has
+//     caught up to E, so any op pinned at <= E (which could still hold a
+//     reference read before the unlink) has quiesced by the time E+1
+//     exists;
+//   * an op that pins at E+1 or later started after the advance, which
+//     happened after the retire's unlink was published -- it can reach the
+//     block only through a stale cache entry, and every cache tier
+//     revalidates (see DESIGN.md section 14).
+//
+// Crashed clients never unpin. Survivors expire a stalled slot with the
+// same double-observation discipline as lock leases (retry_policy.h): the
+// identical pinned (epoch, beat) must be observed across a full virtual
+// lease window of the observer's clock AND the real-time floor before the
+// slot is forced quiescent. MN regions are never host-freed, so even a
+// wrongly expired slot cannot cause a use-after-free -- a recycled-block
+// read is a logical wrong-bytes read that the per-tier validation
+// (key/CRC/status checks) catches and counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "memnode/alloc_stats.h"
+#include "rdma/retry_policy.h"
+
+namespace sphinx::mem {
+
+// Slot value while the owner is between ops.
+constexpr uint64_t kQuiescentEpoch = ~0ull;
+
+// A quarantined block: everything free() needs travels with the block, so
+// the reclaim-time accounting always uses the alloc-time tag and sizes.
+struct RetiredBlock {
+  uint32_t mn = 0;
+  uint64_t offset = 0;
+  uint64_t requested = 0;
+  uint64_t padded = 0;
+  AllocTag tag = AllocTag::kOther;
+  uint64_t stamp = 0;  // global epoch at retire time
+};
+
+class EpochManager {
+ public:
+  static constexpr uint32_t kMaxSlots = 4096;
+  static constexpr uint32_t kNoSlot = ~0u;
+
+  // Registers a client. Prefers never-used and explicitly released slots;
+  // under crash storms falls back to adopting a slot whose (presumed dead)
+  // owner was expired. Returns kNoSlot only if all of those run out, in
+  // which case the client runs unpinned (its in-op references are guarded
+  // by validation alone).
+  uint32_t acquire_slot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t idx = kNoSlot;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else if (next_slot_ < kMaxSlots) {
+      idx = next_slot_++;
+      high_water_.store(next_slot_, std::memory_order_release);
+    } else {
+      for (uint32_t i = 0; i < kMaxSlots; ++i) {
+        if (slots_[i].in_use.load(std::memory_order_acquire) &&
+            slots_[i].expired.load(std::memory_order_acquire)) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == kNoSlot) return kNoSlot;
+    }
+    Slot& s = slots_[idx];
+    s.epoch.store(kQuiescentEpoch, std::memory_order_release);
+    s.expired.store(false, std::memory_order_release);
+    s.watch_armed = false;
+    s.in_use.store(true, std::memory_order_release);
+    return idx;
+  }
+
+  // Clean client shutdown. Crashed clients never call this; their slot
+  // stays pinned until a survivor expires it.
+  void release_slot(uint32_t slot) {
+    if (slot == kNoSlot) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[slot];
+    s.epoch.store(kQuiescentEpoch, std::memory_order_release);
+    s.expired.store(false, std::memory_order_release);
+    s.in_use.store(false, std::memory_order_release);
+    free_.push_back(slot);
+  }
+
+  uint64_t current() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  // Enters an op: the slot advertises the current global epoch. The
+  // store/recheck loop closes the window where an advance races the pin --
+  // after one extra iteration the slot is provably at the current epoch or
+  // at most one behind a concurrent advance (which the stamp+2 rule
+  // tolerates). `beat_ns` is the owner's virtual clock, a liveness beat
+  // for the expiry watch.
+  void pin(uint32_t slot, uint64_t beat_ns) {
+    if (slot == kNoSlot) return;
+    Slot& s = slots_[slot];
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    for (;;) {
+      s.epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+    }
+    s.beat.store(beat_ns, std::memory_order_relaxed);
+    // A live owner wrongly expired self-heals on its next pin.
+    s.expired.store(false, std::memory_order_relaxed);
+  }
+
+  void unpin(uint32_t slot) {
+    if (slot == kNoSlot) return;
+    slots_[slot].epoch.store(kQuiescentEpoch, std::memory_order_seq_cst);
+  }
+
+  // Advances the global epoch iff every pinned slot has caught up to it.
+  // Returns true if the epoch moved (by us or a concurrent caller).
+  bool try_advance() {
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    const uint32_t hw = high_water_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < hw; ++i) {
+      const Slot& s = slots_[i];
+      if (!s.in_use.load(std::memory_order_acquire)) continue;
+      const uint64_t se = s.epoch.load(std::memory_order_seq_cst);
+      if (se != kQuiescentEpoch && se != e) return false;
+    }
+    if (global_.compare_exchange_strong(e, e + 1,
+                                        std::memory_order_seq_cst)) {
+      advances_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;  // moved, or lost the CAS to someone who moved it
+  }
+
+  // A block retired at `stamp` is safe to recycle once two advances have
+  // happened since (see file comment for the argument).
+  bool reclaimable(uint64_t stamp) const {
+    return current() >= stamp + 2;
+  }
+
+  // Expires slots stuck behind the global epoch. A slot is expired only
+  // after the identical (epoch, beat) pair has been watched across a full
+  // virtual lease of the observer's clock and the real-time floor -- the
+  // same double-observation rule lock-lease reclaim uses, so sanitizer or
+  // scheduler stalls of a live owner cannot forge an expiry cheaply.
+  // Returns the number of slots expired by this call.
+  uint32_t expire_stalled(uint64_t observer_clock_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t expired = 0;
+    const uint64_t e = global_.load(std::memory_order_seq_cst);
+    const uint32_t hw = high_water_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < hw; ++i) {
+      Slot& s = slots_[i];
+      if (!s.in_use.load(std::memory_order_acquire)) {
+        s.watch_armed = false;
+        continue;
+      }
+      uint64_t se = s.epoch.load(std::memory_order_seq_cst);
+      const uint64_t beat = s.beat.load(std::memory_order_relaxed);
+      if (se == kQuiescentEpoch || se == e) {
+        s.watch_armed = false;
+        continue;
+      }
+      if (!s.watch_armed || s.watch_epoch != se || s.watch_beat != beat) {
+        s.watch_armed = true;
+        s.watch_epoch = se;
+        s.watch_beat = beat;
+        s.watch_real = std::chrono::steady_clock::now();
+        s.watch_virtual_ns = observer_clock_ns;
+        continue;
+      }
+      if (observer_clock_ns - s.watch_virtual_ns < rdma::kLeaseVirtualNs) {
+        continue;
+      }
+      if (std::chrono::steady_clock::now() - s.watch_real <
+          rdma::kLeaseRealFloor) {
+        continue;
+      }
+      if (s.epoch.compare_exchange_strong(se, kQuiescentEpoch,
+                                          std::memory_order_seq_cst)) {
+        s.expired.store(true, std::memory_order_release);
+        s.watch_armed = false;
+        expired_slots_.fetch_add(1, std::memory_order_relaxed);
+        ++expired;
+      }
+    }
+    return expired;
+  }
+
+  // Quarantine entries a retiring client could not yet recycle are donated
+  // here so later clients can adopt them -- MN offsets are global, so any
+  // client's freelist can reuse them once they ripen.
+  void donate_orphans(std::vector<RetiredBlock>&& blocks) {
+    if (blocks.empty()) return;
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    for (auto& b : blocks) orphans_.push_back(b);
+  }
+
+  // Pops up to `max` ripe orphans (stamp+2 rule) for the caller to recycle.
+  std::vector<RetiredBlock> take_reclaimable_orphans(size_t max) {
+    std::vector<RetiredBlock> out;
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    size_t kept = 0;
+    for (size_t i = 0; i < orphans_.size(); ++i) {
+      if (out.size() < max && reclaimable(orphans_[i].stamp)) {
+        out.push_back(orphans_[i]);
+      } else {
+        orphans_[kept++] = orphans_[i];
+      }
+    }
+    orphans_.resize(kept);
+    return out;
+  }
+
+  uint64_t advances() const {
+    return advances_.load(std::memory_order_relaxed);
+  }
+  uint64_t expired_slots() const {
+    return expired_slots_.load(std::memory_order_relaxed);
+  }
+  size_t orphan_count() {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    return orphans_.size();
+  }
+
+  // Test hook: true iff the slot is in use and pinned to a real epoch.
+  bool slot_pinned(uint32_t slot) const {
+    if (slot == kNoSlot || slot >= kMaxSlots) return false;
+    const Slot& s = slots_[slot];
+    return s.in_use.load(std::memory_order_acquire) &&
+           s.epoch.load(std::memory_order_seq_cst) != kQuiescentEpoch;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> in_use{false};
+    std::atomic<bool> expired{false};
+    std::atomic<uint64_t> epoch{kQuiescentEpoch};
+    std::atomic<uint64_t> beat{0};
+    // Expiry watch state, guarded by mu_.
+    bool watch_armed = false;
+    uint64_t watch_epoch = 0;
+    uint64_t watch_beat = 0;
+    uint64_t watch_virtual_ns = 0;
+    std::chrono::steady_clock::time_point watch_real{};
+  };
+
+  std::atomic<uint64_t> global_{0};
+  std::atomic<uint32_t> high_water_{0};
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> expired_slots_{0};
+  std::mutex mu_;  // slot acquire/release + watch state
+  uint32_t next_slot_ = 0;
+  std::vector<uint32_t> free_;
+  std::vector<Slot> slots_{kMaxSlots};
+
+  std::mutex orphan_mu_;
+  std::vector<RetiredBlock> orphans_;
+};
+
+}  // namespace sphinx::mem

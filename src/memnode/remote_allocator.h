@@ -6,17 +6,33 @@
 // All allocations are 64-byte aligned and padded to a multiple of 64 bytes,
 // matching the paper's 64 B leaf alignment and keeping RDMA-accessed
 // structures word-aligned.
+//
+// Reclamation: retired blocks (unlinked leaves/inners/segments that
+// concurrent one-sided readers may still reference) go through retire()
+// into a per-client quarantine stamped with the shared epoch
+// (memnode/epoch.h). flush_quarantine() returns ripe blocks (stamp+2 rule)
+// to the freelists, where they are genuinely recycled. Memory exhaustion
+// is a degraded mode, not a crash: try_alloc() reclaims and retries under
+// a bounded budget, then returns ok=false; the throwing alloc() wrapper
+// remains for bootstrap paths where failure is unrecoverable anyway.
 #pragma once
 
 #include <cstdint>
 #include <new>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "memnode/cluster.h"
+#include "rdma/retry_policy.h"
 
 namespace sphinx::mem {
+
+struct AllocResult {
+  rdma::GlobalAddr addr = rdma::GlobalAddr(0, 0);
+  bool ok = false;
+};
 
 class RemoteAllocator {
  public:
@@ -26,37 +42,146 @@ class RemoteAllocator {
   // multi-MB chunks would strand most of the heap (192 workers x 4 MiB x
   // 3 MNs is 2.3 GiB of leases before a single byte is used).
   static constexpr uint64_t kDefaultChunkBytes = 256ull << 10;  // 256 KiB
+  // Reclaim-and-retry budget when an MN heap is exhausted. Retrying only
+  // helps while this client can still make local progress (epoch advance,
+  // quarantine flush, orphan adoption), so the budget stays small.
+  static constexpr uint32_t kAllocRetryAttempts = 8;
+  // Ripe orphans adopted per reclaim pass (bounds time under the shared
+  // orphan lock).
+  static constexpr size_t kOrphanAdoptBatch = 64;
 
   RemoteAllocator(Cluster& cluster, rdma::Endpoint& endpoint,
                   uint64_t chunk_bytes = kDefaultChunkBytes)
       : cluster_(cluster),
         endpoint_(endpoint),
         chunk_bytes_(chunk_bytes),
-        per_mn_(cluster.num_mns()) {}
+        per_mn_(cluster.num_mns()),
+        epoch_slot_(cluster.epochs().acquire_slot()) {}
 
-  // Allocates `size` bytes on memory node `mn`. Never returns null; throws
-  // std::bad_alloc when the MN heap is exhausted.
-  rdma::GlobalAddr alloc(uint32_t mn, uint64_t size, AllocTag tag) {
-    const uint64_t padded = pad(size);
-    PerMn& state = per_mn_.at(mn);
-    uint64_t offset;
-    auto it = state.freelists.find(padded);
-    if (it != state.freelists.end() && !it->second.empty()) {
-      offset = it->second.back();
-      it->second.pop_back();
-    } else {
-      offset = carve_from_chunk(mn, state, padded);
+  ~RemoteAllocator() {
+    if (endpoint_.crashed()) {
+      // A dead client cannot announce quiescence: its slot stays pinned
+      // for survivors to expire (epoch.h), and its quarantine bookkeeping
+      // dies with it -- those blocks leak, bounded by the crash count.
+      uint64_t bytes = 0;
+      for (const auto& r : quarantine_) bytes += r.padded;
+      cluster_.alloc_stats().note_quarantine_leak(quarantine_.size(), bytes);
+      return;
     }
-    cluster_.alloc_stats().add(tag, size, padded);
-    return rdma::GlobalAddr(mn, offset);
+    flush_quarantine();
+    if (!quarantine_.empty()) {
+      // Not yet ripe: hand the rest to the shared orphan list so a later
+      // client recycles them (MN offsets are global).
+      cluster_.epochs().donate_orphans(std::move(quarantine_));
+    }
+    cluster_.epochs().release_slot(epoch_slot_);
   }
 
-  // Returns a block to the client-local freelist. `size` must match the
-  // size passed to alloc().
+  RemoteAllocator(const RemoteAllocator&) = delete;
+  RemoteAllocator& operator=(const RemoteAllocator&) = delete;
+
+  // Allocates `size` bytes on memory node `mn`, reclaiming quarantined
+  // blocks under a bounded retry budget when the heap is exhausted.
+  // Returns ok=false (and counts alloc_failures) instead of throwing.
+  AllocResult try_alloc(uint32_t mn, uint64_t size, AllocTag tag) {
+    const uint64_t padded = pad(size);
+    PerMn& state = per_mn_.at(mn);
+    for (uint32_t attempt = 0;; ++attempt) {
+      auto it = state.freelists.find(padded);
+      if (it != state.freelists.end() && !it->second.empty()) {
+        const uint64_t offset = it->second.back();
+        it->second.pop_back();
+        cluster_.alloc_stats().add(tag, size, padded);
+        return AllocResult{rdma::GlobalAddr(mn, offset), true};
+      }
+      if (state.chunk_cursor + padded <= state.chunk_end) {
+        const uint64_t offset = state.chunk_cursor;
+        state.chunk_cursor += padded;
+        cluster_.alloc_stats().add(tag, size, padded);
+        return AllocResult{rdma::GlobalAddr(mn, offset), true};
+      }
+      if (lease_chunk(mn, state, padded)) continue;
+      // Heap exhausted. Reclaiming can still free space: ripen the epoch,
+      // expire crashed peers, flush our quarantine, adopt orphans. Stop as
+      // soon as a pass makes no progress (nothing further will) or the
+      // retry budget runs out.
+      if (attempt >= kAllocRetryAttempts) break;
+      rdma::RetryPolicy policy(endpoint_, alloc_retry_cfg_, nullptr);
+      if (!policy.backoff(attempt)) break;
+      if (!reclaim_pass()) break;
+    }
+    cluster_.alloc_stats().note_alloc_failure();
+    return AllocResult{};
+  }
+
+  // Throwing wrapper for bootstrap/load paths, where an exhausted heap at
+  // construction time is unrecoverable. Never returns null.
+  rdma::GlobalAddr alloc(uint32_t mn, uint64_t size, AllocTag tag) {
+    AllocResult r = try_alloc(mn, size, tag);
+    if (!r.ok) throw std::bad_alloc();
+    return r.addr;
+  }
+
+  // Returns a block to the client-local freelist immediately. Only safe
+  // for blocks that were never published (rollback of a failed install);
+  // anything a concurrent reader could hold must go through retire().
   void free(rdma::GlobalAddr addr, uint64_t size, AllocTag tag) {
     const uint64_t padded = pad(size);
     per_mn_.at(addr.mn()).freelists[padded].push_back(addr.offset());
     cluster_.alloc_stats().sub(tag, size, padded);
+  }
+
+  // Quarantines an unlinked-but-possibly-still-referenced block, stamped
+  // with the current epoch. It returns to the freelist via
+  // flush_quarantine() once every worker has passed the stamp (stamp+2
+  // rule, epoch.h). `size` and `tag` must match the alloc.
+  void retire(rdma::GlobalAddr addr, uint64_t size, AllocTag tag) {
+    const uint64_t padded = pad(size);
+    RetiredBlock r;
+    r.mn = addr.mn();
+    r.offset = addr.offset();
+    r.requested = size;
+    r.padded = padded;
+    r.tag = tag;
+    r.stamp = cluster_.epochs().current();
+    quarantine_.push_back(r);
+    cluster_.alloc_stats().note_retired(padded);
+  }
+
+  // --- Epoch participation (op/batch boundaries) ----------------------
+  // Nested pins collapse to the outermost one, so compound ops (a batch
+  // calling per-op paths) announce quiescence exactly once.
+
+  void pin_epoch() {
+    if (pin_depth_++ == 0) {
+      cluster_.epochs().pin(epoch_slot_, endpoint_.clock_ns());
+    }
+  }
+
+  void unpin_epoch() {
+    if (--pin_depth_ != 0) return;
+    // A client that crashed mid-op never quiesces; the slot stays pinned
+    // until a survivor expires it (tested by the crash stress battery).
+    if (endpoint_.crashed()) return;
+    cluster_.epochs().unpin(epoch_slot_);
+    maybe_reclaim();
+  }
+
+  // Drains ripe quarantine entries into the freelists. Returns the number
+  // of blocks recycled.
+  size_t flush_quarantine() {
+    size_t kept = 0;
+    size_t freed = 0;
+    for (size_t i = 0; i < quarantine_.size(); ++i) {
+      if (cluster_.epochs().reclaimable(quarantine_[i].stamp)) {
+        recycle(quarantine_[i]);
+        ++freed;
+      } else {
+        quarantine_[kept++] = quarantine_[i];
+      }
+    }
+    quarantine_.resize(kept);
+    return freed;
   }
 
   // Total bytes this client has leased from MN bump pointers.
@@ -65,6 +190,9 @@ class RemoteAllocator {
     for (const auto& s : per_mn_) total += s.leased;
     return total;
   }
+
+  size_t quarantined_blocks() const { return quarantine_.size(); }
+  uint32_t epoch_slot() const { return epoch_slot_; }
 
  private:
   struct PerMn {
@@ -79,34 +207,96 @@ class RemoteAllocator {
     return (size + kAlignment - 1) & ~(kAlignment - 1);
   }
 
-  uint64_t carve_from_chunk(uint32_t mn, PerMn& state, uint64_t padded) {
-    if (state.chunk_cursor + padded > state.chunk_end) {
-      lease_chunk(mn, state, padded);
-    }
-    const uint64_t offset = state.chunk_cursor;
-    state.chunk_cursor += padded;
-    return offset;
+  void recycle(const RetiredBlock& r) {
+    per_mn_.at(r.mn).freelists[r.padded].push_back(r.offset);
+    // The sub uses the tag/sizes that travelled with the block, so tagged
+    // accounting cannot drift no matter who recycles it.
+    cluster_.alloc_stats().sub(r.tag, r.requested, r.padded);
+    cluster_.alloc_stats().note_reclaimed(r.padded);
   }
 
-  void lease_chunk(uint32_t mn, PerMn& state, uint64_t min_bytes) {
-    const uint64_t lease = min_bytes > chunk_bytes_ ? pad(min_bytes)
-                                                    : chunk_bytes_;
+  bool reclaim_pass() {
+    cluster_.epochs().try_advance();
+    cluster_.epochs().expire_stalled(endpoint_.clock_ns());
+    cluster_.epochs().try_advance();
+    bool progress = flush_quarantine() > 0;
+    for (const auto& r :
+         cluster_.epochs().take_reclaimable_orphans(kOrphanAdoptBatch)) {
+      recycle(r);
+      progress = true;
+    }
+    return progress;
+  }
+
+  // Opportunistic reclamation at quiescence, kept off the warm path: only
+  // runs when there is quarantine to ripen or (rarely) orphans to adopt.
+  void maybe_reclaim() {
+    ++unpin_count_;
+    if (!quarantine_.empty()) {
+      cluster_.epochs().try_advance();
+      flush_quarantine();
+      if (!quarantine_.empty()) {
+        // Something is pinning an old epoch; watch it (a crashed peer
+        // expires after the lease window, epoch.h).
+        cluster_.epochs().expire_stalled(endpoint_.clock_ns());
+      }
+    }
+    if ((unpin_count_ & 63u) == 0) {
+      for (const auto& r :
+           cluster_.epochs().take_reclaimable_orphans(kOrphanAdoptBatch)) {
+        recycle(r);
+      }
+    }
+  }
+
+  // Leases a fresh chunk via one FAA on the MN bump pointer. Returns true
+  // iff the new window can serve `padded` bytes. On a partial overrun the
+  // in-range remainder is adopted (instead of stranding it forever) when
+  // it beats the current window; on full exhaustion nothing usable was
+  // leased and the window is left alone.
+  bool lease_chunk(uint32_t mn, PerMn& state, uint64_t padded) {
+    const uint64_t lease = padded > chunk_bytes_ ? padded : chunk_bytes_;
+    const uint64_t region = cluster_.fabric().region(mn).size();
     // One-sided chunk lease: FAA on the MN's bump pointer.
     rdma::PhaseScope alloc_scope(endpoint_, rdma::Phase::kAlloc);
     const uint64_t start = endpoint_.faa(
         rdma::GlobalAddr(mn, kBumpPointerOffset), lease);
-    if (start + lease > cluster_.fabric().region(mn).size()) {
-      throw std::bad_alloc();
+    if (start >= region) return false;
+    const uint64_t usable = region - start;
+    if (usable > state.chunk_end - state.chunk_cursor) {
+      state.chunk_cursor = start;
+      state.chunk_end = start + (lease < usable ? lease : usable);
+      state.leased += state.chunk_end - state.chunk_cursor;
     }
-    state.chunk_cursor = start;
-    state.chunk_end = start + lease;
-    state.leased += lease;
+    return state.chunk_end - state.chunk_cursor >= padded;
   }
 
   Cluster& cluster_;
   rdma::Endpoint& endpoint_;
   uint64_t chunk_bytes_;
   std::vector<PerMn> per_mn_;
+  uint32_t epoch_slot_;
+  int pin_depth_ = 0;
+  uint64_t unpin_count_ = 0;
+  std::vector<RetiredBlock> quarantine_;
+  rdma::RetryPolicyConfig alloc_retry_cfg_{
+      kAllocRetryAttempts, /*base_backoff_ns=*/4000,
+      /*max_backoff_ns=*/8192};
+};
+
+// RAII op/batch bracket: pins the shared epoch on entry, announces
+// quiescence (and opportunistically reclaims) on exit.
+class EpochPin {
+ public:
+  explicit EpochPin(RemoteAllocator& alloc) : alloc_(alloc) {
+    alloc_.pin_epoch();
+  }
+  ~EpochPin() { alloc_.unpin_epoch(); }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  RemoteAllocator& alloc_;
 };
 
 }  // namespace sphinx::mem

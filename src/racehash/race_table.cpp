@@ -394,7 +394,18 @@ bool RaceClient::split_segment(uint64_t hash) {
   }
 
   if (ld == global_depth_) {
-    double_directory();
+    if (!double_directory()) {
+      // Out of MN memory for the doubled directory: unlock the (unmodified)
+      // segment and surface the split as a failed insert. Version must still
+      // advance so racing readers don't pair this unlock with a pre-lock
+      // header read.
+      endpoint_.write64(header_addr,
+                        pack_header(false, hdr_true_version(header) + 2,
+                                    suffix, ld),
+                        rdma::FaultSite::kSplitPublish);
+      unlock_directory();
+      return false;
+    }
   }
 
   // Snapshot the whole segment.
@@ -419,8 +430,19 @@ bool RaceClient::split_segment(uint64_t hash) {
   image[0] = pack_header(false, hdr_true_version(header) + 2, suffix, new_ld);
   sibling[0] = pack_header(false, 0, sibling_suffix, new_ld);
 
-  rdma::GlobalAddr sibling_addr =
-      allocator_.alloc(table_.mn, kSegmentBytes, mem::AllocTag::kHashTable);
+  const mem::AllocResult sibling_alloc =
+      allocator_.try_alloc(table_.mn, kSegmentBytes, mem::AllocTag::kHashTable);
+  if (!sibling_alloc.ok) {
+    // No room for the sibling: nothing remote was modified yet (the image
+    // edits are local), so unlock and report the group as genuinely full.
+    endpoint_.write64(header_addr,
+                      pack_header(false, hdr_true_version(header) + 2, suffix,
+                                  ld),
+                      rdma::FaultSite::kSplitPublish);
+    unlock_directory();
+    return false;
+  }
+  const rdma::GlobalAddr sibling_addr = sibling_alloc.addr;
   endpoint_.write(sibling_addr, sibling.data(), kSegmentBytes,
                   rdma::FaultSite::kSplitSibling);
 
@@ -669,7 +691,7 @@ bool RaceClient::stable_search(uint64_t hash,
   }
 }
 
-void RaceClient::double_directory() {
+bool RaceClient::double_directory() {
   rdma::PhaseScope phase(endpoint_, rdma::Phase::kInhtWrite);
   // Caller holds the directory lock.
   const uint64_t desc = endpoint_.read64(table_.descriptor);
@@ -684,19 +706,26 @@ void RaceClient::double_directory() {
   std::vector<uint64_t> doubled(n * 2);
   for (uint64_t j = 0; j < n * 2; ++j) doubled[j] = dir[j & (n - 1)];
 
-  rdma::GlobalAddr new_dir =
-      allocator_.alloc(table_.mn, n * 2 * 8, mem::AllocTag::kHashTable);
+  const mem::AllocResult new_dir_alloc =
+      allocator_.try_alloc(table_.mn, n * 2 * 8, mem::AllocTag::kHashTable);
+  if (!new_dir_alloc.ok) return false;
+  const rdma::GlobalAddr new_dir = new_dir_alloc.addr;
   endpoint_.write(new_dir, doubled.data(), n * 2 * 8,
                   rdma::FaultSite::kSplitSibling);
   endpoint_.write64(table_.descriptor,
                     pack_descriptor(gd + 1, new_dir.offset()),
                     rdma::FaultSite::kSplitDir);
-  // The old directory array is leaked intentionally: readers may still be
-  // probing through it, and reclaiming it safely would need an epoch
-  // scheme. Directory arrays are tiny (2^gd * 8 B).
+  // Readers caching the old descriptor may still probe through the old
+  // directory array, so it goes into epoch quarantine rather than straight
+  // to the freelist. A reader that loses the race and follows a recycled
+  // entry lands on a segment whose suffix no longer matches its hash and
+  // refreshes -- but epochs make that window end before recycling begins.
+  allocator_.retire(rdma::GlobalAddr(table_.mn, desc_offset(desc)), n * 8,
+                    mem::AllocTag::kHashTable);
   global_depth_ = gd + 1;
   dir_cache_ = std::move(doubled);
   stats_.dir_doublings++;
+  return true;
 }
 
 }  // namespace sphinx::race

@@ -148,7 +148,7 @@ class RaceClient {
   // Splits the segment containing `hash`; returns true if the split
   // happened (or someone else's concurrent split was detected).
   bool split_segment(uint64_t hash);
-  void double_directory();
+  bool double_directory();
 
   // ---- crash-tolerant locking ----------------------------------------------
 

@@ -78,6 +78,19 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
   const double p_read = spec.read / spec.total();
   const double p_update = p_read + spec.update / spec.total();
   const double p_insert = p_update + spec.insert / spec.total();
+  const double p_remove = p_insert + spec.remove / spec.total();
+  const double p_rmw = p_remove + spec.rmw / spec.total();
+
+  // Reclamation / degraded-mode counters are cluster-global; snapshot them
+  // so the result reports this phase's flow as deltas.
+  mem::AllocStats& astats = cluster_.alloc_stats();
+  mem::EpochManager& epochs = cluster_.epochs();
+  const uint64_t alloc_failures0 = astats.alloc_failures();
+  const uint64_t degraded0 = astats.alloc_degraded_ops();
+  const uint64_t reclaimed0 = astats.reclaimed_blocks();
+  const uint64_t retired_total0 = astats.retired_bytes_total();
+  const uint64_t advances0 = epochs.advances();
+  const uint64_t expired0 = epochs.expired_slots();
 
   struct WorkerOut {
     LatencyHistogram latency;
@@ -91,6 +104,12 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     uint64_t scan_keys = 0;
     uint64_t scan_truncated = 0;
     uint64_t scan_round_trips = 0;
+    uint64_t remove_ops = 0;
+    uint64_t remove_misses = 0;
+    uint64_t remove_underflow = 0;
+    uint64_t reused_key_inserts = 0;
+    uint64_t rmw_ops = 0;
+    uint64_t rmw_misses = 0;
   };
   std::vector<WorkerOut> outs(options.workers);
   // Per-worker span buffers (merged into options.trace after the join, so
@@ -132,6 +151,15 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
       std::string value(spec.value_size, 'v');
       std::string read_buf;
       std::vector<std::pair<std::string, std::string>> scan_buf;
+      // Churn-key lifecycle, worker-local so no two workers ever contend on
+      // the same key's presence: `owned` holds pool indexes this worker
+      // inserted and believes live, `freed` holds indexes its removes freed
+      // (inserts prefer reusing those, cycling blocks through the epoch
+      // quarantine). Both survive crash reincarnation -- key presence is
+      // index state, not client state -- but a key whose op the crash
+      // caught mid-flight is dropped from tracking (its fate is unknown).
+      std::vector<uint64_t> owned;
+      std::vector<uint64_t> freed;
 
       rdma::TraceRecorder* wrec = traces.empty() ? nullptr : &traces[w];
 
@@ -155,8 +183,19 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
             if (!index->update(keys_[idx], value)) out.misses++;
           } else if (roll < p_insert) {
             op_name = "op:insert";
-            const uint64_t idx =
-                insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+            bool reused = false;
+            uint64_t idx;
+            if (!freed.empty()) {
+              // Reinsert a key this worker removed earlier instead of
+              // claiming fresh pool space: the allocation lands on the
+              // freelists the removes fed, exercising recycle end to end.
+              idx = freed.back();
+              freed.pop_back();
+              reused = true;
+              out.reused_key_inserts++;
+            } else {
+              idx = insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+            }
             if (idx >= keys_.size()) {
               // Key pool exhausted: degrade to an update so the op mix keeps
               // its write share (counted so benches can size the pool); a
@@ -168,15 +207,58 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
             } else {
               std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
               if (index->insert(keys_[idx], value)) {
-                // Only successful inserts become visible / advance the
-                // latest-distribution frontier. A failed insert leaves
-                // keys_[idx] a permanent hole: once later successes move
-                // `visible_` past idx, reads drawing it miss -- honestly.
-                visible_.fetch_add(1, std::memory_order_relaxed);
-                if (latest) latest->advance_frontier();
+                owned.push_back(idx);
+                // Only successful fresh inserts become visible / advance
+                // the latest-distribution frontier (a reinsert is already
+                // below it). A failed fresh insert leaves keys_[idx] a
+                // permanent hole: once later successes move `visible_` past
+                // idx, reads drawing it miss -- honestly.
+                if (!reused) {
+                  visible_.fetch_add(1, std::memory_order_relaxed);
+                  if (latest) latest->advance_frontier();
+                }
               } else {
                 out.insert_failures++;
+                // A reused key is still absent; let a later insert retry it.
+                if (reused) freed.push_back(idx);
               }
+            }
+          } else if (roll < p_remove) {
+            if (owned.empty()) {
+              // Nothing of ours to remove yet; keep the op count honest
+              // with a read (counted, so benches can see the warmup share).
+              out.remove_underflow++;
+              op_name = "op:read";
+              const uint64_t idx = dist->next(rng);
+              if (!index->search(keys_[idx], &read_buf)) out.misses++;
+            } else {
+              op_name = "op:remove";
+              const size_t pos = rng.next_below(owned.size());
+              const uint64_t idx = owned[pos];
+              owned[pos] = owned.back();
+              owned.pop_back();
+              out.remove_ops++;
+              if (index->remove(keys_[idx])) {
+                freed.push_back(idx);
+              } else {
+                // We believed the key live; a miss here is loss (or a
+                // degraded op under memory pressure) -- the gate trips on
+                // it in fault-free runs.
+                out.remove_misses++;
+              }
+            }
+          } else if (roll < p_rmw) {
+            op_name = "op:rmw";
+            const uint64_t idx = dist->next(rng);
+            out.rmw_ops++;
+            if (index->search(keys_[idx], &read_buf)) {
+              std::memcpy(value.data(), &op, std::min<size_t>(8, value.size()));
+              // The written value depends on the read one -- the
+              // "modify" in read-modify-write.
+              if (!read_buf.empty()) value[value.size() - 1] = read_buf[0];
+              if (!index->update(keys_[idx], value)) out.rmw_misses++;
+            } else {
+              out.rmw_misses++;
             }
           } else {
             op_name = "op:scan";
@@ -215,6 +297,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
         struct Planned {
           BatchOp::Kind kind = BatchOp::Kind::kSearch;
           uint64_t key_idx = 0;
+          bool reused = false;  // insert of a key freed by an earlier remove
         };
         std::vector<Planned> plan(depth);
         std::vector<BatchOp> batch(depth);
@@ -231,15 +314,27 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
           bool have_scan = false;
           uint64_t scan_idx = 0;
           size_t scan_len = 0;
+          bool have_rmw = false;
+          uint64_t rmw_idx = 0;
           while (planned < depth && planned < budget) {
             const double roll = rng.next_double();
-            if (roll >= p_insert) {
+            if (roll >= p_rmw) {
+              // Scan: no batch form; closes the current batch.
               scan_idx = dist->next(rng);
               scan_len = 1 + rng.next_below(spec.max_scan_len);
               have_scan = true;
               break;
             }
+            if (roll >= p_remove) {
+              // RMW: the write leg depends on the read leg's result, so it
+              // cannot ride a fused batch either -- closes the batch and
+              // runs serially after it, like a scan.
+              rmw_idx = dist->next(rng);
+              have_rmw = true;
+              break;
+            }
             Planned& p = plan[planned];
+            p.reused = false;
             const uint64_t opno = op + planned;
             if (roll < p_read) {
               p.kind = BatchOp::Kind::kSearch;
@@ -249,18 +344,41 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
               p.key_idx = dist->next(rng);
               std::memcpy(values[planned].data(), &opno,
                           std::min<size_t>(8, values[planned].size()));
-            } else {
-              const uint64_t idx =
-                  insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+            } else if (roll < p_insert) {
+              uint64_t idx;
+              if (!freed.empty()) {
+                idx = freed.back();
+                freed.pop_back();
+                p.reused = true;
+                out.reused_key_inserts++;
+              } else {
+                idx = insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+              }
               std::memcpy(values[planned].data(), &opno,
                           std::min<size_t>(8, values[planned].size()));
               if (idx >= keys_.size()) {
                 out.insert_overflow++;
                 p.kind = BatchOp::Kind::kUpdate;
                 p.key_idx = dist->next(rng);
+                p.reused = false;
               } else {
                 p.kind = BatchOp::Kind::kInsert;
                 p.key_idx = idx;
+              }
+            } else {
+              // Remove: claim one of this worker's live keys at plan time
+              // (exactly the serial draw order); with none to remove,
+              // degrade to a read, as the serial loop does.
+              if (owned.empty()) {
+                out.remove_underflow++;
+                p.kind = BatchOp::Kind::kSearch;
+                p.key_idx = dist->next(rng);
+              } else {
+                const size_t pos = rng.next_below(owned.size());
+                p.kind = BatchOp::Kind::kRemove;
+                p.key_idx = owned[pos];
+                owned[pos] = owned.back();
+                owned.pop_back();
               }
             }
             planned++;
@@ -307,13 +425,23 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
                   break;
                 case BatchOp::Kind::kInsert:
                   if (b.ok) {
-                    visible_.fetch_add(1, std::memory_order_relaxed);
-                    if (latest) latest->advance_frontier();
+                    owned.push_back(plan[i].key_idx);
+                    if (!plan[i].reused) {
+                      visible_.fetch_add(1, std::memory_order_relaxed);
+                      if (latest) latest->advance_frontier();
+                    }
                   } else {
                     out.insert_failures++;
+                    if (plan[i].reused) freed.push_back(plan[i].key_idx);
                   }
                   break;
                 case BatchOp::Kind::kRemove:
+                  out.remove_ops++;
+                  if (b.ok) {
+                    freed.push_back(plan[i].key_idx);
+                  } else {
+                    out.remove_misses++;
+                  }
                   break;
               }
               // Indexes without a virtual clock stamp 0; degrade those
@@ -327,6 +455,30 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
               wrec->record("op:batch", t0, endpoint->clock_ns() - t0, w);
             }
             op += planned;
+          }
+          if (have_rmw) {
+            endpoint->set_trace(nullptr, w);
+            const uint64_t t0 = endpoint->clock_ns();
+            try {
+              out.rmw_ops++;
+              if (index->search(keys_[rmw_idx], &read_buf)) {
+                std::memcpy(value.data(), &op,
+                            std::min<size_t>(8, value.size()));
+                if (!read_buf.empty()) value[value.size() - 1] = read_buf[0];
+                if (!index->update(keys_[rmw_idx], value)) out.rmw_misses++;
+              } else {
+                out.rmw_misses++;
+              }
+              out.latency.record(endpoint->clock_ns() - t0);
+            } catch (const rdma::ClientCrashed&) {
+              out.client_crashes++;
+              out.net += endpoint->stats();
+              clock_carry = endpoint->clock_ns();
+              if (hook_) hook_(*index, w);
+              ++generation;
+              incarnate();
+            }
+            op += 1;
           }
           if (have_scan) {
             endpoint->set_trace(nullptr, w);
@@ -373,6 +525,12 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.scan_keys += out.scan_keys;
     result.scan_truncated += out.scan_truncated;
     result.scan_round_trips += out.scan_round_trips;
+    result.remove_ops += out.remove_ops;
+    result.remove_misses += out.remove_misses;
+    result.remove_underflow += out.remove_underflow;
+    result.reused_key_inserts += out.reused_key_inserts;
+    result.rmw_ops += out.rmw_ops;
+    result.rmw_misses += out.rmw_misses;
     cn_msgs[w % num_cns] += out.net.messages;
     max_clock = std::max(max_clock, out.end_clock_ns);
   }
@@ -433,6 +591,15 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
       result.scan_ops > 0 ? static_cast<double>(result.scan_round_trips) /
                                 static_cast<double>(result.scan_ops)
                           : 0;
+  result.alloc_failures = astats.alloc_failures() - alloc_failures0;
+  result.alloc_degraded_ops = astats.alloc_degraded_ops() - degraded0;
+  result.reclaimed_blocks = astats.reclaimed_blocks() - reclaimed0;
+  result.retired_bytes_total = astats.retired_bytes_total() - retired_total0;
+  result.retired_bytes_outstanding = astats.retired_bytes_outstanding();
+  result.leaked_bytes = astats.leaked_bytes();
+  result.alloc_underflows = astats.underflows();
+  result.epoch_advances = epochs.advances() - advances0;
+  result.expired_epoch_slots = epochs.expired_slots() - expired0;
   return result;
 }
 

@@ -121,6 +121,25 @@ struct RunResult {
   uint64_t scan_truncated = 0;    // scans reporting possible missing keys
   uint64_t scan_round_trips = 0;  // RTTs spent inside scan calls
   double scan_rtts_per_op = 0;    // scan_round_trips / scan_ops
+  // Churn/RMW breakdown (workloads with remove/rmw shares; zero elsewhere).
+  uint64_t remove_ops = 0;     // removes actually issued
+  uint64_t remove_misses = 0;  // removes of a key the worker believed live
+  uint64_t remove_underflow = 0;  // remove drawn with nothing left to remove
+  uint64_t reused_key_inserts = 0;  // inserts that recycled a removed key
+  uint64_t rmw_ops = 0;
+  uint64_t rmw_misses = 0;  // RMW whose read or write leg failed
+  // Reclamation + degraded-mode counters, measured as deltas of the
+  // cluster-wide AllocStats / EpochManager across this phase (absolute for
+  // *_outstanding, which is a level, not a flow).
+  uint64_t alloc_failures = 0;
+  uint64_t alloc_degraded_ops = 0;
+  uint64_t reclaimed_blocks = 0;
+  uint64_t retired_bytes_total = 0;
+  uint64_t retired_bytes_outstanding = 0;
+  uint64_t leaked_bytes = 0;
+  uint64_t alloc_underflows = 0;  // accounting drift tripwire; 0 when sane
+  uint64_t epoch_advances = 0;
+  uint64_t expired_epoch_slots = 0;
 };
 
 class YcsbRunner {

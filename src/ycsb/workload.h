@@ -4,7 +4,13 @@
 //   C: 100% read                      (zipfian 0.99)
 //   D: 95% read of latest / 5% insert (latest)
 //   E: 95% scan / 5% insert           (zipfian start key, scan len 1..100)
+//   F: 50% read / 50% read-modify-write (zipfian 0.99)
 //   LOAD: 100% insert
+// plus the reclamation-stress mix (not a standard YCSB letter):
+//   CHURN: 20% read / 40% insert / 40% remove (uniform). Inserts prefer
+//   reusing keys freed by this worker's earlier removes, so a long run
+//   cycles blocks through retire -> quarantine -> recycle many times over
+//   while the live key count stays roughly flat.
 #pragma once
 
 #include <cassert>
@@ -21,12 +27,16 @@ struct WorkloadSpec {
   double update = 0;
   double insert = 0;
   double scan = 0;
+  double remove = 0;
+  double rmw = 0;  // read-modify-write (YCSB-F)
   RequestDist dist = RequestDist::kZipfian;
   double zipf_theta = 0.99;
   uint32_t max_scan_len = 100;
   uint32_t value_size = 64;  // paper default: 64-byte values
 
-  double total() const { return read + update + insert + scan; }
+  double total() const {
+    return read + update + insert + scan + remove + rmw;
+  }
 };
 
 inline WorkloadSpec standard_workload(char id) {
@@ -53,6 +63,11 @@ inline WorkloadSpec standard_workload(char id) {
     case 'e':
       w = {"YCSB-E", 0.00, 0.00, 0.05, 0.95};
       break;
+    case 'F':
+    case 'f':
+      w = {"YCSB-F", 0.50, 0.00, 0.0, 0.0};
+      w.rmw = 0.50;
+      break;
     case 'L':
     case 'l':
       w = {"LOAD", 0.00, 0.00, 1.00, 0.0};
@@ -61,6 +76,19 @@ inline WorkloadSpec standard_workload(char id) {
       assert(false && "unknown YCSB workload id");
       w = {"YCSB-C", 1.0, 0.0, 0.0, 0.0};
   }
+  return w;
+}
+
+// Sustained insert+delete mix that drives the epoch-reclamation pipeline;
+// uniform draws so the churn spreads across the tree instead of hammering
+// the zipfian head.
+inline WorkloadSpec churn_workload() {
+  WorkloadSpec w;
+  w.name = "CHURN";
+  w.read = 0.20;
+  w.insert = 0.40;
+  w.remove = 0.40;
+  w.dist = RequestDist::kUniform;
   return w;
 }
 

@@ -124,6 +124,17 @@ struct StressReport {
   uint64_t crash_resolve_violations = 0;
   uint64_t crash_timeouts = 0;
   rdma::RecoveryStats recovery;
+  // Epoch-based reclamation pipeline, read off the shared cluster after
+  // the run quiesces (memnode/epoch.h): blocks recycled through the
+  // freelists, quarantine level vs total flow (a stuck epoch shows as
+  // outstanding ~= total), accounting-drift tripwire, epoch progress, and
+  // crashed-slot expiries (a dead worker must not pin the epoch forever).
+  uint64_t reclaimed_blocks = 0;
+  uint64_t retired_bytes_total = 0;
+  uint64_t retired_bytes_outstanding = 0;
+  uint64_t alloc_underflows = 0;
+  uint64_t epoch_advances = 0;
+  uint64_t expired_epoch_slots = 0;
 
   bool clean() const {
     return lin_violations == 0 && scan_order_violations == 0 &&
@@ -210,6 +221,16 @@ class StressHarness {
       std::lock_guard<std::mutex> lock(recovery_mu_);
       report.recovery = recovery_;
     }
+    // After verification every worker incarnation's allocator has been
+    // destroyed (flushing or donating its quarantine), so these are the
+    // run's settled reclamation totals.
+    report.reclaimed_blocks = cluster_->alloc_stats().reclaimed_blocks();
+    report.retired_bytes_total = cluster_->alloc_stats().retired_bytes_total();
+    report.retired_bytes_outstanding =
+        cluster_->alloc_stats().retired_bytes_outstanding();
+    report.alloc_underflows = cluster_->alloc_stats().underflows();
+    report.epoch_advances = cluster_->epochs().advances();
+    report.expired_epoch_slots = cluster_->epochs().expired_slots();
     return report;
   }
 

@@ -110,6 +110,163 @@ TEST(Allocator, ThrowsWhenMnExhausted) {
       std::bad_alloc);
 }
 
+TEST(Allocator, TryAllocFailsRecoverablyThenRecyclesRetiredBlocks) {
+  // Exhaustion through try_alloc is a degraded mode: ok=false and a counted
+  // alloc_failure, never a throw. Retiring live blocks then makes the very
+  // next try_alloc succeed again -- its internal reclaim pass ripens the
+  // epoch and drains the quarantine back into the freelists.
+  auto cluster = testing::make_test_cluster(2 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep, /*chunk_bytes=*/1 << 20);
+  std::vector<rdma::GlobalAddr> live;
+  bool failed = false;
+  for (int i = 0; i < 64; ++i) {
+    AllocResult r = alloc.try_alloc(0, 256 << 10, AllocTag::kLeaf);
+    if (!r.ok) {
+      failed = true;
+      break;
+    }
+    live.push_back(r.addr);
+  }
+  ASSERT_TRUE(failed) << "heap never exhausted; test is vacuous";
+  ASSERT_FALSE(live.empty());
+  EXPECT_GT(cluster->alloc_stats().alloc_failures(), 0u);
+  for (rdma::GlobalAddr a : live) {
+    alloc.retire(a, 256 << 10, AllocTag::kLeaf);
+  }
+  AllocResult again = alloc.try_alloc(0, 256 << 10, AllocTag::kLeaf);
+  EXPECT_TRUE(again.ok);
+  EXPECT_GT(cluster->alloc_stats().reclaimed_blocks(), 0u);
+  EXPECT_EQ(cluster->alloc_stats().underflows(), 0u);
+}
+
+TEST(Allocator, QuarantineIsNotRecycledBeforeStampPlusTwo) {
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  rdma::GlobalAddr a = alloc.alloc(0, 100, AllocTag::kLeaf);
+  alloc.retire(a, 100, AllocTag::kLeaf);
+  // Not ripe yet: flushing recycles nothing and a fresh alloc must carve
+  // new space rather than resurrect the possibly-still-referenced block.
+  EXPECT_EQ(alloc.flush_quarantine(), 0u);
+  rdma::GlobalAddr b = alloc.alloc(0, 100, AllocTag::kLeaf);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alloc.quarantined_blocks(), 1u);
+}
+
+TEST(Allocator, RetireRecycleRoundTripKeepsAccountingExact) {
+  // Tagged live bytes keep counting a quarantined block until it actually
+  // recycles (the memory is still unavailable), then drop by exactly the
+  // alloc-time sizes: the tag travels with the block, so the round trip
+  // can never drift the per-tag counters or trip the underflow tripwire.
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  AllocStats& stats = cluster->alloc_stats();
+  std::vector<rdma::GlobalAddr> blocks;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(alloc.alloc(0, 100, AllocTag::kLeaf));
+  }
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kLeaf), 300u);
+  for (rdma::GlobalAddr a : blocks) {
+    alloc.retire(a, 100, AllocTag::kLeaf);
+  }
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kLeaf), 300u);  // still live
+  EXPECT_EQ(stats.retired_bytes_outstanding(), 3 * 128u);
+  cluster->epochs().try_advance();
+  cluster->epochs().try_advance();
+  EXPECT_EQ(alloc.flush_quarantine(), 3u);
+  EXPECT_EQ(stats.requested_bytes(AllocTag::kLeaf), 0u);
+  EXPECT_EQ(stats.count(AllocTag::kLeaf), 0u);
+  EXPECT_EQ(stats.retired_bytes_outstanding(), 0u);
+  EXPECT_EQ(stats.reclaimed_blocks(), 3u);
+  EXPECT_EQ(stats.underflows(), 0u);
+}
+
+TEST(Allocator, RecycledBlocksServeTheWholePaddedSizeClass) {
+  // Freelists are keyed by padded size: a block retired from a 100-byte
+  // request (padded 128) must satisfy a later 110-byte request (also 128).
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  rdma::GlobalAddr a = alloc.alloc(1, 100, AllocTag::kLeaf);
+  alloc.retire(a, 100, AllocTag::kLeaf);
+  cluster->epochs().try_advance();
+  cluster->epochs().try_advance();
+  ASSERT_EQ(alloc.flush_quarantine(), 1u);
+  AllocResult r = alloc.try_alloc(1, 110, AllocTag::kLeaf);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.addr, a);
+  EXPECT_EQ(cluster->alloc_stats().underflows(), 0u);
+}
+
+TEST(Allocator, ChurnRecyclesWithoutGrowingTheLease) {
+  // Sustained alloc/retire churn far beyond the chunk size must be served
+  // from recycled blocks: leased bytes stay at the first chunk while the
+  // cumulative turnover is ~8x larger. This is the memory-boundedness
+  // property the churn workload gates in CI, reduced to the allocator.
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);  // default 256 KiB chunks
+  constexpr uint64_t kBlock = 1024;
+  constexpr int kIters = 2048;  // 2 MiB of turnover
+  for (int i = 0; i < kIters; ++i) {
+    AllocResult r = alloc.try_alloc(0, kBlock, AllocTag::kLeaf);
+    ASSERT_TRUE(r.ok) << "iteration " << i;
+    alloc.retire(r.addr, kBlock, AllocTag::kLeaf);
+    cluster->epochs().try_advance();
+    alloc.flush_quarantine();
+  }
+  EXPECT_EQ(alloc.leased_bytes(), RemoteAllocator::kDefaultChunkBytes);
+  EXPECT_GT(cluster->alloc_stats().reclaimed_blocks(),
+            static_cast<uint64_t>(kIters) - 8);
+  // Only the not-yet-ripe tail (stamp+2 lag) may remain outstanding.
+  EXPECT_LE(cluster->alloc_stats().retired_bytes_outstanding(), 4 * kBlock);
+  EXPECT_EQ(cluster->alloc_stats().underflows(), 0u);
+}
+
+TEST(AllocStats, UnderflowTripwireCountsMismatchedFree) {
+  // Freeing with sizes the block was never allocated with must be counted,
+  // not silently wrapped: the counter is the accounting-drift tripwire the
+  // bench gate and stress battery assert on.
+  auto cluster = testing::make_test_cluster(8 << 20);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator alloc(*cluster, ep);
+  rdma::GlobalAddr a = alloc.alloc(0, 100, AllocTag::kLeaf);
+  EXPECT_EQ(cluster->alloc_stats().underflows(), 0u);
+  alloc.free(a, 200, AllocTag::kLeaf);  // wrong size: requested 200 > 100
+  EXPECT_GE(cluster->alloc_stats().underflows(), 1u);
+}
+
+TEST(Allocator, OrphanedQuarantineRescuesALaterClient) {
+  // A client that retires blocks and shuts down before they ripen donates
+  // them to the shared orphan list. A later client facing an exhausted
+  // bump pointer must adopt those orphans in its reclaim pass and serve
+  // the allocation from them -- MN offsets are global, so the freelist
+  // hand-off crosses client lifetimes.
+  auto cluster = testing::make_test_cluster(2 << 20);
+  {
+    rdma::Endpoint ep = cluster->make_loader_endpoint();
+    RemoteAllocator first(*cluster, ep, /*chunk_bytes=*/1 << 20);
+    std::vector<rdma::GlobalAddr> live;
+    for (int i = 0; i < 64; ++i) {
+      AllocResult r = first.try_alloc(0, 256 << 10, AllocTag::kOther);
+      if (!r.ok) break;
+      live.push_back(r.addr);
+    }
+    ASSERT_FALSE(live.empty());
+    for (rdma::GlobalAddr a : live) {
+      first.retire(a, 256 << 10, AllocTag::kOther);
+    }
+  }  // destructor: quarantine not ripe -> donated as orphans
+  EXPECT_GT(cluster->epochs().orphan_count(), 0u);
+  rdma::Endpoint ep = cluster->make_loader_endpoint();
+  RemoteAllocator second(*cluster, ep, /*chunk_bytes=*/1 << 20);
+  AllocResult r = second.try_alloc(0, 256 << 10, AllocTag::kOther);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(cluster->alloc_stats().reclaimed_blocks(), 0u);
+}
+
 TEST(Allocator, ConcurrentClientsGetDisjointChunks) {
   auto cluster = testing::make_test_cluster(64 << 20);
   constexpr int kThreads = 8;

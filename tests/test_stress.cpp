@@ -25,6 +25,10 @@ void expect_clean(const StressReport& report) {
   // A speculative leaf read may be wasted, never wrong: nonzero means the
   // LAC's validate gate passed bytes for the wrong key through.
   EXPECT_EQ(report.lac_wrong_value, 0u);
+  // Alloc/retire/recycle accounting must balance in every configuration;
+  // an underflow is a double free or a retire whose bookkeeping diverged
+  // from its alloc.
+  EXPECT_EQ(report.alloc_underflows, 0u);
 }
 
 StressOptions base_options(ycsb::SystemKind kind) {
@@ -143,12 +147,13 @@ TEST(Stress, SphinxLacNeverResurrectsRecycledBlocks) {
   // The ABA scenario: injected CAS losses make insert paths allocate a
   // leaf, lose the install race, and free the block to the client-local
   // freelist, where the very next insert recycles it for a different key.
-  // Remove-heavy churn meanwhile retires linked leaves (tombstoned, never
-  // recycled) while readers still hold LAC bindings to them. If the LAC
-  // ever resurrected a freed-and-reused address as a hit for the old key,
-  // the byte-exact key compare is the last line of defense -- and the
-  // audit counter (lac_wrong_value, checked by expect_clean) proves even
-  // that line was never reached wrongly. Crashes are layered in so
+  // Remove-heavy churn meanwhile retires linked leaves through the epoch
+  // quarantine, and once they ripen (stamp+2) they too recycle into new
+  // keys -- while readers still hold LAC bindings to the old addresses. If
+  // the LAC ever resurrected a freed-and-reused address as a hit for the
+  // old key, the byte-exact key compare is the last line of defense -- and
+  // the audit counter (lac_wrong_value, checked by expect_clean) proves
+  // even that line was never reached wrongly. Crashes are layered in so
   // abandoned allocations and orphaned locks join the recycling traffic.
   StressOptions options = base_options(ycsb::SystemKind::kSphinx);
   options.churn_keys_per_thread = 96;
@@ -159,6 +164,64 @@ TEST(Stress, SphinxLacNeverResurrectsRecycledBlocks) {
   expect_clean(report);
   EXPECT_GT(report.fault_stats.cas_failures, 0u);  // recycling really ran
   EXPECT_GT(report.lac_hits, 0u);
+}
+
+TEST(Stress, ReclamationUnderChurnRecyclesAndStaysBounded) {
+  // Sustained insert/remove churn with the epoch pipeline live: retired
+  // leaves must actually recycle through the freelists (the epoch
+  // advances, quarantines drain) and the outstanding quarantine must stay
+  // a small tail, not retain most of what was ever retired -- a stuck
+  // epoch fails the boundedness check long before it exhausts memory.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;
+  options.ops_per_thread = 2500;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.reclaimed_blocks, 0u);
+  EXPECT_GT(report.epoch_advances, 0u);
+  EXPECT_TRUE(report.retired_bytes_outstanding * 2 <=
+                  report.retired_bytes_total ||
+              report.retired_bytes_outstanding <= (64u << 10))
+      << "quarantine not draining: outstanding="
+      << report.retired_bytes_outstanding
+      << " of total=" << report.retired_bytes_total;
+}
+
+TEST(Stress, ReclamationRacesLacReadersSplitsFaultsAndCrashes) {
+  // Block recycling racing everything at once: LAC speculative reads hold
+  // addresses whose leaves get retired, ripen, and recycle into other keys
+  // mid-run; injected CAS losses and stalls stretch every window; crashes
+  // abandon quarantines (donated or leaked) and orphan locks. The run must
+  // stay linearizable with zero wrong-value reads while the pipeline keeps
+  // recycling -- reclamation may never trade correctness for memory.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;
+  options.ops_per_thread = 2500;
+  options.faults = true;
+  options.crash_rate = 0.002;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.reclaimed_blocks, 0u);
+  EXPECT_GT(report.lac_hits, 0u);
+  EXPECT_GT(report.client_crashes, 0u);
+}
+
+TEST(Stress, CrashedWorkerCannotPinTheEpochForever) {
+  // Every injected crash kills a worker inside an op, i.e. with its epoch
+  // slot pinned; the dead slot would block the global epoch (and with it
+  // every quarantine on the CN) forever. Survivors must expire it with the
+  // double-observation lease discipline and resume recycling: nonzero
+  // expired slots AND nonzero reclaimed blocks prove the epoch kept moving
+  // straight through the crash storm.
+  StressOptions options = base_options(ycsb::SystemKind::kSphinx);
+  options.churn_keys_per_thread = 96;
+  options.ops_per_thread = 2000;
+  options.crash_rate = 0.01;
+  const StressReport report = run_stress(options);
+  expect_clean(report);
+  EXPECT_GT(report.client_crashes, 0u);
+  EXPECT_GT(report.expired_epoch_slots, 0u);
+  EXPECT_GT(report.reclaimed_blocks, 0u);
 }
 
 TEST(Stress, SphinxSurvivesMnOutageBursts) {
@@ -259,6 +322,9 @@ TEST(Stress, PipelinedSphinxUnderFaultsAndSplits) {
   expect_clean(report);
   EXPECT_GT(report.batch_fused_ops, 0u);
   EXPECT_GT(report.lac_hits, 0u);
+  // Batch-level epoch pins must not starve reclamation: blocks retired
+  // under the in-flight batches still ripen and recycle.
+  EXPECT_GT(report.reclaimed_blocks, 0u);
 }
 
 TEST(Stress, PipelinedSphinxUnderClientCrashes) {

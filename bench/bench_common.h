@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,17 +32,23 @@ inline uint64_t mn_bytes_for_keys(uint64_t keys, uint32_t num_mns) {
   return per_mn;
 }
 
-// `mn_bytes_override` (--mem-budget) replaces the per-MN auto-sizing; a
-// deliberately small budget drives the allocator into degraded mode
-// (alloc_failures / alloc_degraded_ops instead of crashes).
-inline std::unique_ptr<mem::Cluster> make_cluster(
-    uint64_t keys, bool batching = true, uint64_t mn_bytes_override = 0) {
-  rdma::NetworkConfig config;  // paper testbed: 3 CNs, 3 MNs
-  config.doorbell_batching = batching;
+// Builds a cluster from an explicit fabric topology (--mns/--cns/--vnodes
+// sweeps). `mn_bytes_override` (--mem-budget) replaces the per-MN
+// auto-sizing; a deliberately small budget drives the allocator into
+// degraded mode (alloc_failures / alloc_degraded_ops instead of crashes).
+inline std::unique_ptr<mem::Cluster> make_cluster_with_config(
+    rdma::NetworkConfig config, uint64_t keys, uint64_t mn_bytes_override = 0) {
   const uint64_t mn_bytes = mn_bytes_override > 0
                                 ? mn_bytes_override
                                 : mn_bytes_for_keys(keys, config.num_mns);
   return std::make_unique<mem::Cluster>(config, mn_bytes);
+}
+
+inline std::unique_ptr<mem::Cluster> make_cluster(
+    uint64_t keys, bool batching = true, uint64_t mn_bytes_override = 0) {
+  rdma::NetworkConfig config;  // paper testbed: 3 CNs, 3 MNs
+  config.doorbell_batching = batching;
+  return make_cluster_with_config(config, keys, mn_bytes_override);
 }
 
 inline ycsb::SystemKind parse_system(const std::string& name) {
@@ -49,6 +57,86 @@ inline ycsb::SystemKind parse_system(const std::string& name) {
   if (name == "smart" || name == "SMART") return ycsb::SystemKind::kSmart;
   if (name == "smart+c" || name == "smartc") return ycsb::SystemKind::kSmartC;
   return ycsb::SystemKind::kArt;
+}
+
+// Validating variant: rejects unknown names instead of silently mapping
+// them to ART (parse_system's fallthrough has bitten sweep scripts that
+// typo a system and then benchmark the wrong baseline all night).
+inline bool parse_system_checked(const std::string& name,
+                                 ycsb::SystemKind* out) {
+  if (name == "sphinx" || name == "Sphinx") {
+    *out = ycsb::SystemKind::kSphinx;
+  } else if (name == "sphinx-nosfc") {
+    *out = ycsb::SystemKind::kSphinxNoFilter;
+  } else if (name == "smart" || name == "SMART") {
+    *out = ycsb::SystemKind::kSmart;
+  } else if (name == "smart+c" || name == "smartc") {
+    *out = ycsb::SystemKind::kSmartC;
+  } else if (name == "art" || name == "ART") {
+    *out = ycsb::SystemKind::kArt;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Parses a csv of positive integers ("6,12,24"). Returns false -- with a
+// "--<flag>: ..." diagnostic on stderr -- on empty tokens, non-numeric
+// garbage, trailing junk ("12x"), zeros, or an empty list, instead of
+// letting std::stoul throw (or worse, parse "12x" as 12).
+inline bool parse_u32_list(const std::string& flag, const std::string& spec,
+                           std::vector<uint32_t>* out) {
+  out->clear();
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    uint64_t v = 0;
+    size_t pos = 0;
+    try {
+      v = std::stoul(token, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (token.empty() || pos != token.size() || v == 0 || v > UINT32_MAX) {
+      std::cerr << "--" << flag << ": expected a csv of positive integers, "
+                << "got '" << spec << "' (bad token '" << token << "')\n";
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(v));
+  }
+  if (out->empty()) {
+    std::cerr << "--" << flag << ": empty list\n";
+    return false;
+  }
+  return true;
+}
+
+// Parses --datasets as exact comma-separated tokens ("u64,email"). Exact
+// match, not substring: the old `spec.find(name) != npos` test meant
+// --datasets=u or any typo containing 'u' silently selected u64 (and
+// "email" contains no dataset name it doesn't own, but "u64,emial" kept
+// u64 and dropped email without a word). Unknown tokens are errors.
+inline bool parse_datasets(const std::string& spec,
+                           std::vector<ycsb::DatasetKind>* out) {
+  out->clear();
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == ycsb::dataset_name(ycsb::DatasetKind::kU64)) {
+      out->push_back(ycsb::DatasetKind::kU64);
+    } else if (token == ycsb::dataset_name(ycsb::DatasetKind::kEmail)) {
+      out->push_back(ycsb::DatasetKind::kEmail);
+    } else {
+      std::cerr << "--datasets: unknown dataset '" << token
+                << "' (expected u64, email)\n";
+      return false;
+    }
+  }
+  if (out->empty()) {
+    std::cerr << "--datasets: empty list\n";
+    return false;
+  }
+  return true;
 }
 
 // The four systems of the paper's evaluation, in figure order.

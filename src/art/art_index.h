@@ -10,9 +10,12 @@ namespace sphinx::art {
 
 class ArtIndex final : public RemoteTree {
  public:
+  // `config` defaults to the paper-faithful baseline; bench A/B knobs
+  // (e.g. --root-replicas) hand in a tweaked copy of baseline_config().
   ArtIndex(mem::Cluster& cluster, rdma::Endpoint& endpoint,
-           mem::RemoteAllocator& allocator, const TreeRef& ref)
-      : RemoteTree(cluster, endpoint, allocator, ref, baseline_config()) {}
+           mem::RemoteAllocator& allocator, const TreeRef& ref,
+           const TreeConfig& config = baseline_config())
+      : RemoteTree(cluster, endpoint, allocator, ref, config) {}
 
   const char* name() const override { return "ART"; }
 

@@ -29,7 +29,24 @@ TreeRef create_tree(mem::Cluster& cluster) {
   rdma::GlobalAddr addr = allocator.alloc(mn, root.size_bytes(),
                                           mem::AllocTag::kInnerNode);
   loader.write(addr, root.raw(), root.size_bytes());
-  return TreeRef{addr};
+
+  // One root copy per MN (2 KiB each) so replica-routed readers can enter
+  // the tree through any NIC; the primary's MN slot holds the primary
+  // itself. All copies start byte-identical (the empty root), so they are
+  // consistent before the first propagation.
+  TreeRef ref{addr, {}};
+  ref.root_replicas.reserve(cluster.config().num_mns);
+  for (uint32_t m = 0; m < cluster.config().num_mns; ++m) {
+    if (m == mn) {
+      ref.root_replicas.push_back(addr);
+      continue;
+    }
+    rdma::GlobalAddr rep = allocator.alloc(m, root.size_bytes(),
+                                           mem::AllocTag::kInnerNode);
+    loader.write(rep, root.raw(), root.size_bytes());
+    ref.root_replicas.push_back(rep);
+  }
+  return ref;
 }
 
 RemoteTree::RemoteTree(mem::Cluster& cluster, rdma::Endpoint& endpoint,
@@ -65,13 +82,15 @@ bool RemoteTree::read_leaf(rdma::GlobalAddr addr, uint32_t units,
 }
 
 RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
-                                         bool allow_custom_start) {
+                                         bool allow_custom_start,
+                                         bool allow_replica_root) {
   // Reuse the member scratch: path entries carry multi-KiB node images, so
   // building them in place (and keeping the vector's capacity across
   // operations) keeps the per-op hot path allocation- and memcpy-free.
   Descent& d = descent_;
   d.status = DescendStatus::kNeedRetry;
   d.from_custom_start = false;
+  d.used_replica_root = false;
   d.path.clear();
   d.leaf_addr = rdma::GlobalAddr();
   d.cpl = 0;
@@ -82,12 +101,28 @@ RemoteTree::Descent& RemoteTree::descend(const TerminatedKey& key,
     d.from_custom_start = true;
   } else {
     PathEntry& start = d.path.back();
+    // The path records the PRIMARY root address even when the image below
+    // is read from a replica: every mutation must CAS the one
+    // authoritative root, and a replica that lagged then simply fails the
+    // expected-value CAS and retries through the primary.
     start.addr = ref_.root;
     start.parent_depth = 0;
     start.taken_slot = -1;
     start.taken_word = 0;
+    rdma::GlobalAddr fetch_addr = ref_.root;
+    if (allow_replica_root && config_.replicate_root &&
+        !ref_.root_replicas.empty()) {
+      fetch_addr =
+          ref_.root_replicas[root_read_seq_++ % ref_.root_replicas.size()];
+    }
+    d.used_replica_root = fetch_addr != ref_.root;
+    if (d.used_replica_root) {
+      stats_.root_replica_reads++;
+    } else {
+      stats_.root_primary_reads++;
+    }
     rdma::PhaseScope root_scope(endpoint_, rdma::Phase::kInnerRead);
-    if (!fetch_inner(ref_.root, NodeType::kN256, &start.image)) {
+    if (!fetch_inner(fetch_addr, NodeType::kN256, &start.image)) {
       d.path.pop_back();
       d.status = DescendStatus::kNeedRetry;
       return d;
@@ -187,7 +222,7 @@ bool RemoteTree::search(Slice key, std::string* value_out) {
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
     if (!policy.backoff(r)) break;
-    Descent& d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8, r == 0);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
         if (value_out != nullptr) {
@@ -208,11 +243,17 @@ bool RemoteTree::search(Slice key, std::string* value_out) {
           allow_custom = false;
           continue;
         }
-        if (descent_used_cache()) {
+        if (descent_used_cache() || d.used_replica_root) {
           // SMART reverse check: an absent verdict derived from cached
-          // nodes must be confirmed against remote memory.
-          for (const PathEntry& e : d.path) invalidate_inner(e.addr);
-          set_cache_bypass(true);
+          // nodes must be confirmed against remote memory. The same
+          // discipline covers a root-replica entry (the replica may lag
+          // the primary by one propagation): the retry descends through
+          // the primary, since only first attempts route to replicas.
+          if (descent_used_cache()) {
+            for (const PathEntry& e : d.path) invalidate_inner(e.addr);
+            set_cache_bypass(true);
+          }
+          if (d.used_replica_root) stats_.root_replica_rechecks++;
           stats_.op_retries++;
           continue;
         }
@@ -259,7 +300,7 @@ bool RemoteTree::insert(Slice key, Slice value) {
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
     if (!policy.backoff(r)) break;
-    Descent& d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8, r == 0);
     switch (d.status) {
       case DescendStatus::kFoundLeaf:
         return false;  // key exists; no modification
@@ -371,6 +412,48 @@ void RemoteTree::unlock_node(rdma::GlobalAddr addr, uint64_t locked_header,
                 rdma::FaultSite::kLockRelease);
 }
 
+bool RemoteTree::install_slot_locked(rdma::GlobalAddr node_addr,
+                                     uint32_t slot_index, uint64_t expected,
+                                     uint64_t desired, uint64_t locked,
+                                     uint64_t idle, rdma::FaultSite site) {
+  const rdma::GlobalAddr slot_addr = node_addr.plus(
+      kInnerHeaderBytes + static_cast<uint64_t>(slot_index) * 8);
+  const bool root_with_replicas = config_.replicate_root &&
+                                  node_addr == ref_.root &&
+                                  ref_.root_replicas.size() > 1;
+  rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
+  if (!root_with_replicas) {
+    rdma::DoorbellBatch batch(endpoint_);
+    const size_t cas_idx = batch.add_cas(slot_addr, expected, desired, site);
+    batch.add_cas(node_addr, locked, idle, rdma::FaultSite::kLockRelease);
+    batch.execute();
+    return batch.cas_ok(cas_idx);
+  }
+  // Root: resolve the slot CAS first, then push the winning word to the
+  // replicas with the lock release riding the same batch. The propagation
+  // happens strictly under the root lock, so replica slot writes from
+  // different mutators can never interleave out of order. A client that
+  // crashes between the two batches leaves the root Locked with lagging
+  // replicas; lease reclamation frees the lock, and readers entering via
+  // the stale replica fall back to a primary descent (correct, one extra
+  // round trip) until the slot is next mutated.
+  const bool won = endpoint_.cas(slot_addr, expected, desired, nullptr, site);
+  rdma::DoorbellBatch post(endpoint_);
+  const uint64_t word = desired;  // write source; alive across execute()
+  if (won) {
+    for (const rdma::GlobalAddr& rep : ref_.root_replicas) {
+      if (rep == ref_.root) continue;
+      post.add_write(rep.plus(kInnerHeaderBytes +
+                              static_cast<uint64_t>(slot_index) * 8),
+                     &word, sizeof(word), rdma::FaultSite::kPayloadWrite);
+    }
+    stats_.root_replica_propagations++;
+  }
+  post.add_cas(node_addr, locked, idle, rdma::FaultSite::kLockRelease);
+  post.execute();
+  return won;
+}
+
 bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
                                        Descent& d) {
   PathEntry& node = d.path.back();
@@ -415,19 +498,11 @@ bool RemoteTree::insert_into_free_slot(const TerminatedKey& key, Slice value,
   const int existing = fresh.find_pkey(branch);
   const int free_idx = fresh.find_free(branch);
   if (existing < 0 && free_idx >= 0) {
-    rdma::DoorbellBatch batch(endpoint_);
     const uint64_t slot_word = pack_leaf_slot(branch, leaf.units, leaf.addr);
-    const size_t slot_idx = batch.add_cas(
-        node.addr.plus(kInnerHeaderBytes +
-                       static_cast<uint64_t>(free_idx) * 8),
-        0, slot_word, rdma::FaultSite::kSlotInstall);
-    // Piggybacked lock release.
-    batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
-    {
-      rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
-      batch.execute();
-    }
-    ok = batch.cas_ok(slot_idx);
+    // Slot CAS with piggybacked lock release (replica-aware at the root).
+    ok = install_slot_locked(node.addr, static_cast<uint32_t>(free_idx), 0,
+                             slot_word, locked, seen,
+                             rdma::FaultSite::kSlotInstall);
     if (ok) {
       fresh.set_slot(static_cast<uint32_t>(free_idx), slot_word);
       fresh.set_header(seen);
@@ -540,17 +615,10 @@ bool RemoteTree::insert_split(const TerminatedKey& key, Slice value,
     return false;
   }
 
-  rdma::DoorbellBatch batch(endpoint_);
   const uint64_t m_slot = pack_inner_slot(parent_branch, mtype, m_addr);
-  const size_t cas_idx = batch.add_cas(
-      parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-      child_word, m_slot, rdma::FaultSite::kSlotInstall);
-  batch.add_cas(parent.addr, locked, seen, rdma::FaultSite::kLockRelease);
-  {
-    rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
-    batch.execute();
-  }
-  if (!batch.cas_ok(cas_idx)) {
+  if (!install_slot_locked(parent.addr, static_cast<uint32_t>(idx),
+                           child_word, m_slot, locked, seen,
+                           rdma::FaultSite::kSlotInstall)) {
     release_allocs();
     return false;
   }
@@ -608,17 +676,10 @@ bool RemoteTree::insert_replace_invalid_leaf(const TerminatedKey& key,
   bool ok = false;
   if (idx >= 0 &&
       fresh.slot(static_cast<uint32_t>(idx)) == node.taken_word) {
-    rdma::DoorbellBatch batch(endpoint_);
     const uint64_t slot_word = pack_leaf_slot(branch, leaf.units, leaf.addr);
-    const size_t cas_idx = batch.add_cas(
-        node.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-        node.taken_word, slot_word, rdma::FaultSite::kSlotInstall);
-    batch.add_cas(node.addr, locked, seen, rdma::FaultSite::kLockRelease);
-    {
-      rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
-      batch.execute();
-    }
-    ok = batch.cas_ok(cas_idx);
+    ok = install_slot_locked(node.addr, static_cast<uint32_t>(idx),
+                             node.taken_word, slot_word, locked, seen,
+                             rdma::FaultSite::kSlotInstall);
     if (ok) {
       fresh.set_slot(static_cast<uint32_t>(idx), slot_word);
       fresh.set_header(seen);
@@ -719,18 +780,11 @@ bool RemoteTree::type_switch(const TerminatedKey& key, Descent& d) {
     return false;
   }
 
-  rdma::DoorbellBatch batch(endpoint_);
   const uint64_t new_slot = pack_inner_slot(parent_branch, new_type,
                                             grown_addr);
-  const size_t cas_idx = batch.add_cas(
-      parent.addr.plus(kInnerHeaderBytes + static_cast<uint64_t>(idx) * 8),
-      parent.taken_word, new_slot, rdma::FaultSite::kSlotInstall);
-  batch.add_cas(parent.addr, locked_p, seen_p, rdma::FaultSite::kLockRelease);
-  {
-    rdma::PhaseScope install_scope(endpoint_, rdma::Phase::kInnerWrite);
-    batch.execute();
-  }
-  if (!batch.cas_ok(cas_idx)) {
+  if (!install_slot_locked(parent.addr, static_cast<uint32_t>(idx),
+                           parent.taken_word, new_slot, locked_p, seen_p,
+                           rdma::FaultSite::kSlotInstall)) {
     unlock_node(node.addr, locked_n, seen_n);
     allocator_.free(grown_addr, grown_bytes, mem::AllocTag::kInnerNode);
     return false;
@@ -806,7 +860,7 @@ bool RemoteTree::update(Slice key, Slice value) {
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
     if (!policy.backoff(r)) break;
-    Descent& d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8, r == 0);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();
@@ -913,22 +967,13 @@ bool RemoteTree::update(Slice key, Slice value) {
             const int idx = fresh.find_pkey(branch);
             if (idx >= 0 &&
                 fresh.slot(static_cast<uint32_t>(idx)) == parent.taken_word) {
-              rdma::DoorbellBatch batch(endpoint_);
               const uint64_t new_slot =
                   pack_leaf_slot(branch, leaf.units, leaf.addr);
-              const size_t cas_idx = batch.add_cas(
-                  parent.addr.plus(kInnerHeaderBytes +
-                                   static_cast<uint64_t>(idx) * 8),
-                  parent.taken_word, new_slot,
-                  rdma::FaultSite::kSlotInstall);
-              batch.add_cas(parent.addr, locked_p, seen_p,
-                            rdma::FaultSite::kLockRelease);
-              {
-                rdma::PhaseScope install_scope(endpoint_,
-                                               rdma::Phase::kInnerWrite);
-                batch.execute();
-              }
-              done = batch.cas_ok(cas_idx);
+              done = install_slot_locked(parent.addr,
+                                         static_cast<uint32_t>(idx),
+                                         parent.taken_word, new_slot,
+                                         locked_p, seen_p,
+                                         rdma::FaultSite::kSlotInstall);
               if (done) {
                 fresh.set_slot(static_cast<uint32_t>(idx), new_slot);
                 fresh.set_header(seen_p);
@@ -989,9 +1034,14 @@ bool RemoteTree::update(Slice key, Slice value) {
           allow_custom = false;
           continue;
         }
-        if (descent_used_cache()) {
-          for (const PathEntry& e : d.path) invalidate_inner(e.addr);
-          set_cache_bypass(true);
+        if (descent_used_cache() || d.used_replica_root) {
+          // Reverse check (see search()): cached or replica-derived
+          // absence must be confirmed through the primary root.
+          if (descent_used_cache()) {
+            for (const PathEntry& e : d.path) invalidate_inner(e.addr);
+            set_cache_bypass(true);
+          }
+          if (d.used_replica_root) stats_.root_replica_rechecks++;
           stats_.op_retries++;
           continue;
         }
@@ -1017,7 +1067,7 @@ bool RemoteTree::remove(Slice key) {
   rdma::RetryPolicy policy(endpoint_, config_.retry, &stats_.backoff);
   for (uint32_t r = 0;; ++r) {
     if (!policy.backoff(r)) break;
-    Descent& d = descend(tkey, allow_custom && r < 8);
+    Descent& d = descend(tkey, allow_custom && r < 8, r == 0);
     switch (d.status) {
       case DescendStatus::kFoundLeaf: {
         const uint64_t seen = d.leaf.header();
@@ -1067,19 +1117,10 @@ bool RemoteTree::remove(Slice key) {
           const int idx = fresh.find_pkey(branch);
           if (idx >= 0 &&
               fresh.slot(static_cast<uint32_t>(idx)) == parent.taken_word) {
-            rdma::DoorbellBatch batch(endpoint_);
-            const size_t clear_idx = batch.add_cas(
-                parent.addr.plus(kInnerHeaderBytes +
-                                 static_cast<uint64_t>(idx) * 8),
-                parent.taken_word, 0);
-            batch.add_cas(parent.addr, locked_p, seen_p,
-                          rdma::FaultSite::kLockRelease);
-            {
-              rdma::PhaseScope install_scope(endpoint_,
-                                             rdma::Phase::kInnerWrite);
-              batch.execute();
-            }
-            unlinked = batch.cas_ok(clear_idx);
+            unlinked = install_slot_locked(parent.addr,
+                                           static_cast<uint32_t>(idx),
+                                           parent.taken_word, 0, locked_p,
+                                           seen_p, rdma::FaultSite::kNone);
             fresh.set_slot(static_cast<uint32_t>(idx), 0);
             fresh.set_header(seen_p);
             note_inner_write(parent.addr, fresh);
@@ -1110,9 +1151,14 @@ bool RemoteTree::remove(Slice key) {
           allow_custom = false;
           continue;
         }
-        if (descent_used_cache()) {
-          for (const PathEntry& e : d.path) invalidate_inner(e.addr);
-          set_cache_bypass(true);
+        if (descent_used_cache() || d.used_replica_root) {
+          // Reverse check (see search()): cached or replica-derived
+          // absence must be confirmed through the primary root.
+          if (descent_used_cache()) {
+            for (const PathEntry& e : d.path) invalidate_inner(e.addr);
+            set_cache_bypass(true);
+          }
+          if (d.used_replica_root) stats_.root_replica_rechecks++;
           stats_.op_retries++;
           continue;
         }

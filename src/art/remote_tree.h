@@ -45,6 +45,17 @@ struct TreeConfig {
   // SMART mode: every inner node uses the Node-256 layout regardless of
   // fanout, eliminating type switches at a 2-3x MN memory cost (Fig. 6).
   bool homogeneous_nodes = false;
+  // Spread root reads across the per-MN root replicas (TreeRef.root_replicas)
+  // round-robin. Every op descends through the root, so without this the
+  // primary root's MN NIC is the whole tree's front door and gates the
+  // saturation knee (see DESIGN.md Sec. 15). Only an op's FIRST attempt may
+  // enter via a replica; retries and the reverse check of any
+  // replica-derived "absent" verdict go through the primary, and all
+  // mutations CAS the primary regardless of entry point, so a lagging
+  // replica can cost round trips but never correctness. SMART turns this
+  // off: its NodeCache already fronts the (address-keyed) primary root, and
+  // replica addresses would bypass that cache instead of filling it.
+  bool replicate_root = true;
   // Enter scans through find_scan_start() (Sphinx: SFC/PEC/INHT jump to the
   // deepest inner node covering the range) instead of a root descent.
   // bench_ycsb's --no-scan-jump A/B flag lands here.
@@ -79,6 +90,15 @@ struct TreeStats {
   // Mutations abandoned because the MN heap was exhausted even after
   // reclamation (degraded mode, not a crash; see remote_allocator.h).
   uint64_t alloc_degraded_ops = 0;
+  // Root-replica routing (TreeConfig::replicate_root): descents entered via
+  // a replica vs the primary, root-slot words propagated to the replicas
+  // under the root lock, and "absent" verdicts derived from a replica image
+  // that were re-verified with a primary descent (the replica analogue of
+  // SMART's reverse check -- nonzero only when a replica lagged).
+  uint64_t root_replica_reads = 0;
+  uint64_t root_primary_reads = 0;
+  uint64_t root_replica_propagations = 0;
+  uint64_t root_replica_rechecks = 0;
   rdma::RecoveryStats recovery;  // lease expiries / reclaims / timeouts
   rdma::BackoffHistogram backoff;
   rdma::ScanStats scan;          // frontier-scan engine counters
@@ -88,9 +108,16 @@ struct TreeStats {
 // it never type-switches and is never invalidated.
 struct TreeRef {
   rdma::GlobalAddr root;
+  // One root copy per MN (the primary's MN holds `root` itself). Readers
+  // round-robin across these to keep the root from pinning one MN's NIC;
+  // writers CAS only the primary and push winning slot words to the
+  // replicas while holding the root lock. Empty on trees created before
+  // replication (or with replicate_root off): everything falls back to
+  // the primary.
+  std::vector<rdma::GlobalAddr> root_replicas;
 };
 
-// Allocates and initializes an empty tree.
+// Allocates and initializes an empty tree with a root replica on every MN.
 TreeRef create_tree(mem::Cluster& cluster);
 
 class RemoteTree : public KvIndex {
@@ -138,6 +165,11 @@ class RemoteTree : public KvIndex {
   struct Descent {
     DescendStatus status = DescendStatus::kNeedRetry;
     bool from_custom_start = false;
+    // Root image came from a replica, not the primary. An "absent" verdict
+    // from such a descent must be confirmed by a primary descent before the
+    // op may report a miss (the replica may lag the primary by one
+    // propagation; see TreeConfig::replicate_root).
+    bool used_replica_root = false;
     std::vector<PathEntry> path;  // start .. deepest inner node reached
     LeafImage leaf;               // for kFoundLeaf / kLeafMismatch /
                                   // kFoundInvalidLeaf
@@ -267,7 +299,13 @@ class RemoteTree : public KvIndex {
   // Returns a reference to per-instance scratch (descent_): each call
   // invalidates the previous result. Node images are multi-KiB, so reusing
   // the path vector across operations keeps the hot path allocation-free.
-  Descent& descend(const TerminatedKey& key, bool allow_custom_start);
+  // `allow_replica_root`: a root-entry descent may read a round-robin root
+  // replica instead of the primary (ops pass it on their first attempt
+  // only, so every retry path self-corrects through the primary). The
+  // path entry's addr stays the primary either way -- mutations must CAS
+  // the one authoritative root.
+  Descent& descend(const TerminatedKey& key, bool allow_custom_start,
+                   bool allow_replica_root = false);
 
   // Memory node placement (consistent hashing, Sec. III).
   uint32_t mn_for_prefix(uint64_t hash) const {
@@ -284,6 +322,9 @@ class RemoteTree : public KvIndex {
  private:
   // Per-operation scratch returned by descend(); see the declaration.
   Descent descent_;
+  // Round-robin cursor over TreeRef::root_replicas for replica-routed
+  // root reads (per client, so a fleet of clients spreads uniformly).
+  uint32_t root_read_seq_ = 0;
   // Scratch for insert()'s mismatched-leaf key (avoids a per-retry copy).
   std::string existing_key_scratch_;
   // Single-slot lease-expiry watch (see rdma/retry_policy.h).
@@ -333,6 +374,20 @@ class RemoteTree : public KvIndex {
 
   void unlock_node(rdma::GlobalAddr addr, uint64_t locked_header,
                    uint64_t idle_header);
+
+  // Installs `desired` into slot `slot_index` of the locked node at
+  // `node_addr` (CAS expecting `expected`) and releases the node lock
+  // (`locked` -> `idle`). For every node but the root the two CASes ride
+  // one doorbell batch, exactly the old fused shape. For the root (with
+  // replicas), the slot CAS goes first and -- only if it won -- the new
+  // word is written to every root replica in a second batch that also
+  // carries the lock release, so replicas can never lag a root whose lock
+  // has been released by a live client (+1 RTT on rare root-slot
+  // mutations). Returns the slot CAS outcome.
+  bool install_slot_locked(rdma::GlobalAddr node_addr, uint32_t slot_index,
+                           uint64_t expected, uint64_t desired,
+                           uint64_t locked, uint64_t idle,
+                           rdma::FaultSite site);
 
   // ---- crash-tolerant locking (lease reclamation) --------------------------
 

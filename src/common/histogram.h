@@ -46,6 +46,25 @@ class LatencyHistogram {
     max_ns_ = std::max(max_ns_, other.max_ns_);
   }
 
+  // Merges `other` with every sample multiplied by `factor` (>= 0). Samples
+  // are re-bucketed at each source bucket's upper bound times `factor`, the
+  // same representative percentile_ns() reports, so the result carries the
+  // histogram's usual <= 12.5% per-bucket error. The runner uses this to
+  // apply per-worker NIC-queueing stretch to unloaded per-worker histograms
+  // after the stretch factors are known.
+  void merge_scaled(const LatencyHistogram& other, double factor) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (other.counts_[i] == 0) continue;
+      const uint64_t ns = static_cast<uint64_t>(
+          static_cast<double>(bucket_upper_bound(i)) * factor);
+      counts_[bucket_for(ns)] += other.counts_[i];
+      total_ += other.counts_[i];
+      sum_ns_ += ns * other.counts_[i];
+      min_ns_ = std::min(min_ns_, ns);
+      max_ns_ = std::max(max_ns_, ns);
+    }
+  }
+
   uint64_t count() const { return total_; }
   uint64_t min_ns() const { return total_ ? min_ns_ : 0; }
   uint64_t max_ns() const { return max_ns_; }

@@ -35,6 +35,10 @@ class SmartIndex final : public art::RemoteTree {
     // SMART's NodeCache already fronts the root (fetch_inner interposes);
     // an extra CN-side root image would double-count a cache SMART lacks.
     config.cache_scan_root = false;
+    // Replica-routed root reads would bypass the address-keyed NodeCache
+    // (each replica address is a distinct cache line) -- the cache already
+    // keeps the primary root off the fabric, so replicas could only hurt.
+    config.replicate_root = false;
     return config;
   }
 

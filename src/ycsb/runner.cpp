@@ -513,6 +513,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
 
   uint64_t max_clock = 0;
   std::vector<uint64_t> cn_msgs(num_cns, 0);
+  std::vector<uint64_t> cn_bytes(num_cns, 0);
   for (uint32_t w = 0; w < options.workers; ++w) {
     const WorkerOut& out = outs[w];
     result.latency.merge(out.latency);
@@ -532,6 +533,7 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
     result.rmw_ops += out.rmw_ops;
     result.rmw_misses += out.rmw_misses;
     cn_msgs[w % num_cns] += out.net.messages;
+    cn_bytes[w % num_cns] += out.net.bytes_total();
     max_clock = std::max(max_clock, out.end_clock_ns);
   }
   if (options.trace != nullptr) {
@@ -540,47 +542,110 @@ RunResult YcsbRunner::run(const WorkloadSpec& spec, const RunOptions& options) {
   result.total_ops = options.ops_per_worker * options.workers;
 
   // Fluid NIC-capacity model: each NIC supplies one second of service time
-  // per second. If the phase's aggregate demand on the busiest NIC exceeds
-  // what fits into the unloaded makespan, the whole phase stretches by that
-  // utilization factor (queueing delay in the aggregate).
+  // per second. Per-NIC utilization = the phase's aggregate service demand
+  // on that NIC over the unloaded makespan. The *busiest* NIC gates when
+  // the phase can finish (makespan stretch, below); per-op latency is
+  // charged per NIC actually touched (per-worker stretch, further below).
   const rdma::NetworkConfig& cfg = cluster_.config();
   const double t_unloaded = static_cast<double>(max_clock);
-  double u_max = 0.0;
   // The per-MN vectors are sized from the fabric (and grown on demand), so
   // every MN's traffic enters the capacity model -- nothing escapes on
   // clusters wider than the old fixed-size tracking arrays.
+  const uint32_t tracked_mns = std::max<uint32_t>(
+      cluster_.num_mns(),
+      static_cast<uint32_t>(result.net.msgs_per_mn.size()));
+  result.mn_utilization.assign(tracked_mns, 0.0);
+  result.cn_utilization.assign(num_cns, 0.0);
+  // An MN verb costs the NIC per-message processing plus wire time for its
+  // payload. The same two terms apply CN-side: every message a CN's
+  // workers put on the wire crosses the CN NIC, payload included (the old
+  // model charged CN messages but not CN bytes, so a CN could never
+  // byte-saturate no matter how large the transfers).
   for (uint32_t mn = 0; mn < result.net.msgs_per_mn.size(); ++mn) {
     const double demand =
         static_cast<double>(result.net.msgs_per_mn[mn]) *
             static_cast<double>(cfg.mn_msg_ns) +
         static_cast<double>(result.net.bytes_per_mn[mn]) / cfg.bytes_per_ns;
-    if (t_unloaded > 0) u_max = std::max(u_max, demand / t_unloaded);
+    if (t_unloaded > 0) result.mn_utilization[mn] = demand / t_unloaded;
   }
   for (uint32_t cn = 0; cn < num_cns; ++cn) {
-    const double demand = static_cast<double>(cn_msgs[cn]) *
-                          static_cast<double>(cfg.cn_msg_ns);
-    if (t_unloaded > 0) u_max = std::max(u_max, demand / t_unloaded);
+    const double demand =
+        static_cast<double>(cn_msgs[cn]) *
+            static_cast<double>(cfg.cn_msg_ns) +
+        static_cast<double>(cn_bytes[cn]) / cfg.bytes_per_ns;
+    if (t_unloaded > 0) result.cn_utilization[cn] = demand / t_unloaded;
   }
+  double u_max = 0.0;
+  for (double u : result.mn_utilization) u_max = std::max(u_max, u);
+  for (double u : result.cn_utilization) u_max = std::max(u_max, u);
   result.nic_utilization = u_max;
   result.latency_stretch = std::max(1.0, u_max);
   const double t_eff = t_unloaded * result.latency_stretch;
+
+  // Placement balance: busiest MN's messages over the per-MN mean across
+  // the whole cluster (idle provisioned MNs count in the mean -- an MN the
+  // placement never uses IS imbalance).
+  {
+    uint64_t total_mn_msgs = 0;
+    uint64_t max_mn_msgs = 0;
+    for (uint64_t m : result.net.msgs_per_mn) {
+      total_mn_msgs += m;
+      max_mn_msgs = std::max(max_mn_msgs, m);
+    }
+    result.mn_msg_balance =
+        total_mn_msgs > 0
+            ? static_cast<double>(max_mn_msgs) * tracked_mns /
+                  static_cast<double>(total_mn_msgs)
+            : 1.0;
+  }
+
+  // Per-worker latency stretch: a worker's timeline inflates by the
+  // congestion of the NICs its verbs crossed -- the demand-weighted mean
+  // of max(1, u_mn) over its per-MN traffic mix, floored by its own CN
+  // NIC's stretch (every one of its messages crosses that CN). On a
+  // balanced cluster every worker gets ~latency_stretch; under skew only
+  // the workers feeding the hot NIC stretch. The scaled per-worker
+  // histograms merge into latency_effective.
+  for (uint32_t w = 0; w < options.workers; ++w) {
+    const rdma::EndpointStats& n = outs[w].net;
+    double demand_total = 0.0;
+    double weighted = 0.0;
+    for (uint32_t mn = 0; mn < n.msgs_per_mn.size(); ++mn) {
+      const double d =
+          static_cast<double>(n.msgs_per_mn[mn]) *
+              static_cast<double>(cfg.mn_msg_ns) +
+          static_cast<double>(n.bytes_per_mn[mn]) / cfg.bytes_per_ns;
+      demand_total += d;
+      const double u =
+          mn < result.mn_utilization.size() ? result.mn_utilization[mn] : 0.0;
+      weighted += d * std::max(1.0, u);
+    }
+    double stretch_w = demand_total > 0 ? weighted / demand_total : 1.0;
+    stretch_w =
+        std::max(stretch_w, std::max(1.0, result.cn_utilization[w % num_cns]));
+    result.latency_effective.merge_scaled(outs[w].latency, stretch_w);
+  }
 
   result.sim_seconds = t_eff / 1e9;
   result.ops_per_sec =
       result.sim_seconds > 0
           ? static_cast<double>(result.total_ops) / result.sim_seconds
           : 0;
-  // Effective mean (Little's law with L = workers x pipeline_depth ops in
-  // flight, consistent with ops_per_sec); the unloaded mean comes from the
-  // same histogram the percentiles do, so both latency views are
-  // internally consistent. At depth 1 this reduces exactly to the pre-
-  // pipelining workers-only formula.
+  // Effective mean (Little's law with L = the ops actually in flight,
+  // consistent with ops_per_sec); the unloaded mean comes from the same
+  // histogram the percentiles do, so both latency views are internally
+  // consistent. At depth 1 with ops >> workers this reduces exactly to
+  // the pre-pipelining workers-only formula. L is clamped to total_ops:
+  // a phase with fewer ops than the nominal workers x depth window (tiny
+  // warmups) never has the full window in flight, and charging the
+  // phantom occupancy overstated the mean by workers x depth / total.
+  const double in_flight = std::min(
+      static_cast<double>(options.workers) *
+          static_cast<double>(std::max<uint32_t>(1, options.pipeline_depth)),
+      static_cast<double>(result.total_ops));
   result.mean_latency_ns =
       result.total_ops > 0
-          ? static_cast<double>(options.workers) *
-                static_cast<double>(
-                    std::max<uint32_t>(1, options.pipeline_depth)) *
-                t_eff / static_cast<double>(result.total_ops)
+          ? in_flight * t_eff / static_cast<double>(result.total_ops)
           : 0;
   result.mean_unloaded_latency_ns = result.latency.mean_ns();
   result.rtts_per_op = static_cast<double>(result.net.round_trips) /

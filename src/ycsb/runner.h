@@ -84,8 +84,22 @@ struct RunResult {
   // saturate first, reproducing the paper's Fig. 5 shape).
   double sim_seconds = 0;
   double ops_per_sec = 0;
-  // Busiest-NIC utilization at unloaded pacing; > 1 means saturated.
+  // Busiest-NIC utilization at unloaded pacing; > 1 means saturated. This
+  // is the max over the per-NIC vectors below.
   double nic_utilization = 0;
+  // Per-NIC utilization at unloaded pacing (service demand placed on that
+  // NIC divided by the unloaded makespan). MN entries charge both the
+  // per-message processing time and the byte/bandwidth term; CN entries
+  // charge the same two terms for everything the CN's workers put on the
+  // wire (a CN NIC byte-saturates on large transfers exactly like an MN
+  // NIC -- the old model forgot the CN byte term).
+  std::vector<double> mn_utilization;
+  std::vector<double> cn_utilization;
+  // Placement-balance figure: busiest-MN messages over mean-per-MN
+  // messages. 1.0 is a perfectly balanced cluster; a hot MN pushes it
+  // toward num_mns. The knee study reports this next to every curve so
+  // placement skew is never mistaken for capacity exhaustion.
+  double mn_msg_balance = 1.0;
   // Latency is dual-reported and the two views differ exactly by the
   // NIC-capacity stretch factor `latency_stretch` = max(1, nic_utilization):
   //  * `latency` (and mean_unloaded_latency_ns) is the per-op distribution
@@ -98,18 +112,35 @@ struct RunResult {
   //    the batch's wall time evenly by its depth;
   //  * `mean_latency_ns` and effective_percentile_ns() are *effective*
   //    (queueing-adjusted) figures consistent with the reported throughput
-  //    via Little's law with L = workers x pipeline_depth ops in flight.
+  //    via Little's law with L = min(workers x pipeline_depth, total_ops)
+  //    ops in flight (clamped: a phase with fewer ops than the nominal
+  //    window never has the full window in flight).
   //    On an unsaturated fabric at depth 1 the two views coincide.
   double mean_latency_ns = 0;
   double mean_unloaded_latency_ns = 0;
+  // Makespan stretch: max(1, nic_utilization). The *busiest* NIC gates
+  // when the whole phase can finish, so throughput is always derated by
+  // this factor; per-op latency is NOT (see latency_effective).
   double latency_stretch = 1.0;
   // Per-op latency distribution at unloaded pacing (no queueing applied).
   LatencyHistogram latency;
+  // Per-op latency with *per-NIC* queueing applied: each worker's unloaded
+  // samples scaled by that worker's own stretch -- the traffic-weighted
+  // mean of max(1, utilization) over the NICs its verbs actually crossed
+  // (its CN NIC plus its per-MN demand mix). On a balanced cluster this
+  // coincides with the uniform latency_stretch scaling; under skew the
+  // workers hammering the hot MN stretch while the rest stay fast, so a
+  // hot MN is visible as a fat tail here instead of being flattened into
+  // one global factor.
+  LatencyHistogram latency_effective;
 
-  // Queueing-adjusted percentile: the unloaded histogram percentile scaled
-  // by the same stretch factor as mean_latency_ns, so a saturated run's
-  // reported p50/p99 can never sit below its reported mean.
+  // Queueing-adjusted percentile from the per-NIC-stretched distribution.
+  // Falls back to the uniform-stretch scaling for hand-built results that
+  // never populated latency_effective.
   double effective_percentile_ns(double p) const {
+    if (latency_effective.count() > 0) {
+      return static_cast<double>(latency_effective.percentile_ns(p));
+    }
     return static_cast<double>(latency.percentile_ns(p)) * latency_stretch;
   }
   rdma::EndpointStats net;

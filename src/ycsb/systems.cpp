@@ -109,6 +109,7 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
     case SystemKind::kSphinx: {
       core::SphinxConfig config;
       config.tree.scan_jump = scan_jump_;
+      config.tree.replicate_root = root_replicas_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, filters_[cn].get(),
           pec(cn), lac(cn), config);
@@ -117,6 +118,7 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
       core::SphinxConfig config;
       config.use_filter = false;
       config.tree.scan_jump = scan_jump_;
+      config.tree.replicate_root = root_replicas_;
       return std::make_unique<core::SphinxIndex>(
           cluster_, endpoint, allocator, *sphinx_refs_, nullptr, pec(cn),
           lac(cn), config);
@@ -126,9 +128,12 @@ std::unique_ptr<KvIndex> SystemSetup::make_client(
       return std::make_unique<smart::SmartIndex>(
           cluster_, endpoint, allocator, tree_ref_, *caches_[cn],
           kind_ == SystemKind::kSmartC ? "SMART+C" : "SMART");
-    case SystemKind::kArt:
+    case SystemKind::kArt: {
+      art::TreeConfig config = art::ArtIndex::baseline_config();
+      config.replicate_root = root_replicas_;
       return std::make_unique<art::ArtIndex>(cluster_, endpoint, allocator,
-                                             tree_ref_);
+                                             tree_ref_, config);
+    }
     case SystemKind::kBpTree:
       return std::make_unique<bptree::BpTreeIndex>(cluster_, endpoint,
                                                    allocator, bptree_ref_);

@@ -90,6 +90,12 @@ class SystemSetup {
   // ops). No effect on non-Sphinx systems.
   void set_scan_jump(bool enabled) { scan_jump_ = enabled; }
 
+  // A/B switch for bench_scalability --root-replicas: when false, ART and
+  // Sphinx clients read only the primary root (pre-replication routing),
+  // exposing the root MN's NIC as the saturation bottleneck. SMART always
+  // runs with replicas off (its NodeCache fronts the primary root).
+  void set_root_replicas(bool enabled) { root_replicas_ = enabled; }
+
   filter::CuckooFilter* filter(uint32_t cn) {
     return cn < filters_.size() ? filters_[cn].get() : nullptr;
   }
@@ -113,6 +119,7 @@ class SystemSetup {
   mem::Cluster& cluster_;
   std::string name_;
   bool scan_jump_ = true;
+  bool root_replicas_ = true;
   art::TreeRef tree_ref_;
   bptree::BpTreeRef bptree_ref_;
   std::unique_ptr<core::SphinxRefs> sphinx_refs_;

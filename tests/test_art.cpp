@@ -4,6 +4,7 @@
 // path compression, node type switches).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
@@ -389,6 +390,101 @@ TEST_F(ArtIndexTest, MemoryAccountingGrowsAndShrinks) {
     index_->remove("mem" + std::to_string(i));
   }
   EXPECT_LT(stats.requested_bytes(mem::AllocTag::kLeaf), leaf_after);
+}
+
+// ---- root replication (DESIGN.md Sec. 15) -----------------------------------
+
+TEST_F(ArtIndexTest, RootReplicasCreatedOnEveryMn) {
+  ASSERT_EQ(ref_.root_replicas.size(), 3u);
+  std::set<uint32_t> mns;
+  for (const rdma::GlobalAddr& rep : ref_.root_replicas) mns.insert(rep.mn());
+  EXPECT_EQ(mns.size(), 3u);
+  // The vector is indexed by MN id; the primary's entry is the primary.
+  EXPECT_EQ(ref_.root_replicas[ref_.root.mn()], ref_.root);
+  // All copies start byte-identical (the empty Node-256 root).
+  rdma::Endpoint loader = cluster_->make_loader_endpoint();
+  InnerImage primary = InnerImage::create(NodeType::kN256, Slice());
+  loader.read(ref_.root, primary.raw(), inner_node_bytes(NodeType::kN256));
+  for (const rdma::GlobalAddr& rep_addr : ref_.root_replicas) {
+    if (rep_addr == ref_.root) continue;
+    InnerImage rep = InnerImage::create(NodeType::kN256, Slice());
+    loader.read(rep_addr, rep.raw(), inner_node_bytes(NodeType::kN256));
+    EXPECT_EQ(std::memcmp(rep.raw(), primary.raw(),
+                          inner_node_bytes(NodeType::kN256)),
+              0);
+  }
+}
+
+TEST_F(ArtIndexTest, RootSlotInstallsPropagateToReplicas) {
+  // Distinct first bytes populate distinct root slots: each install (and
+  // each later leaf -> inner replacement) must reach every replica.
+  for (int i = 0; i < 40; ++i) {
+    const std::string k = std::string(1, static_cast<char>('0' + i)) + "key";
+    ASSERT_TRUE(index_->insert(k, "v:" + k)) << k;
+    ASSERT_TRUE(index_->insert(k + "2", "w:" + k)) << k;  // forces a split
+  }
+  EXPECT_GT(index_->tree_stats().root_replica_propagations, 0u);
+  rdma::Endpoint loader = cluster_->make_loader_endpoint();
+  InnerImage primary = InnerImage::create(NodeType::kN256, Slice());
+  loader.read(ref_.root, primary.raw(), inner_node_bytes(NodeType::kN256));
+  for (const rdma::GlobalAddr& rep_addr : ref_.root_replicas) {
+    if (rep_addr == ref_.root) continue;
+    InnerImage rep = InnerImage::create(NodeType::kN256, Slice());
+    loader.read(rep_addr, rep.raw(), inner_node_bytes(NodeType::kN256));
+    for (uint32_t s = 0; s < 256; ++s) {
+      EXPECT_EQ(rep.slot(s), primary.slot(s)) << "slot " << s;
+    }
+  }
+}
+
+TEST_F(ArtIndexTest, ReplicaRoutedSearchesSpreadAndStayCorrect) {
+  const auto keys = testing::mixed_keys(300);
+  for (const auto& k : keys) ASSERT_TRUE(index_->insert(k, "v:" + k));
+  std::string v;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& k : keys) {
+      ASSERT_TRUE(index_->search(k, &v)) << k;
+      EXPECT_EQ(v, "v:" + k);
+    }
+  }
+  EXPECT_FALSE(index_->search("not-a-key-anywhere", &v));
+  const TreeStats& st = index_->tree_stats();
+  // Round-robin over 3 MNs: roughly 2/3 of root-entry descents go through
+  // a replica, the rest through the primary.
+  EXPECT_GT(st.root_replica_reads, 0u);
+  EXPECT_GT(st.root_primary_reads, 0u);
+  // A single client's propagations complete under the root lock before its
+  // next descent, so its replicas never lag itself: no rechecks.
+  EXPECT_EQ(st.root_replica_rechecks, 0u);
+}
+
+TEST_F(ArtIndexTest, StaleReplicaNeverYieldsFalseVerdicts) {
+  ASSERT_TRUE(index_->insert("stale-key", "stale-val"));
+  // Forge the failure mode replication must absorb: a propagation that
+  // never landed (e.g. the installer crashed after its slot CAS). Clear
+  // the key's root slot in every replica, leaving only the primary truthful.
+  rdma::Endpoint loader = cluster_->make_loader_endpoint();
+  const uint64_t zero = 0;
+  for (const rdma::GlobalAddr& rep : ref_.root_replicas) {
+    if (rep == ref_.root) continue;
+    loader.write(rep.plus(kInnerHeaderBytes + uint64_t{'s'} * 8), &zero,
+                 sizeof(zero));
+  }
+  // Round-robin sends most entries through a stale replica; its kNoSlot
+  // verdict must be re-verified through the primary, never reported.
+  std::string v;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(index_->search("stale-key", &v)) << "attempt " << i;
+    EXPECT_EQ(v, "stale-val");
+  }
+  EXPECT_GT(index_->tree_stats().root_replica_rechecks, 0u);
+  // Mutations route the same way: the update and remove land on the
+  // primary regardless of which root image the first attempt read.
+  EXPECT_TRUE(index_->update("stale-key", "v2"));
+  ASSERT_TRUE(index_->search("stale-key", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_TRUE(index_->remove("stale-key"));
+  EXPECT_FALSE(index_->search("stale-key", &v));
 }
 
 }  // namespace

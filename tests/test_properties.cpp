@@ -292,6 +292,10 @@ TEST(FailureInjection, PermanentlyInvalidNodeFailsGracefully) {
   mem::RemoteAllocator alloc(*cluster, ep);
   art::TreeConfig config;
   config.max_op_retries = 8;  // keep the test fast
+  // The forged Invalid header below is a protocol-impossible state (the
+  // root is never invalidated); replica-routed descents would legitimately
+  // sail past it, so pin every descent to the primary under test.
+  config.replicate_root = false;
   struct SmallRetryArt : art::RemoteTree {
     SmallRetryArt(mem::Cluster& c, rdma::Endpoint& e,
                   mem::RemoteAllocator& a, const art::TreeRef& r,

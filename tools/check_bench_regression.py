@@ -2,6 +2,18 @@
 """Compare a bench_ycsb --json run against a committed seed.
 
 Usage: check_bench_regression.py SEED.json CURRENT.json [--tolerance=0.05]
+       check_bench_regression.py --knee-schema=KNEE.json
+
+The second form validates a bench_scalability --json knee-curve file
+instead of diffing two runs: every record must carry the full knee schema
+(identity fields, throughput, the dual latency views, per-NIC utilization
+vectors sized to the cluster, balance ratio, loss counters), the
+utilization vectors must be internally consistent (nic_utilization is
+their max; latency_stretch = max(1, nic_utilization); mn_msg_balance in
+[1, num_mns]), and no two records may share a curve point. It does NOT
+require loss counters to be zero -- sweeps are allowed to drive systems
+into degraded regimes on purpose; CI asserts zero losses separately on
+its own smoke sweep.
 
 Checks, per (system, dataset, workload) record:
   * rtts_per_op within +/-tolerance (relative) of the seed. RTTs per op are
@@ -60,9 +72,126 @@ LOSS_COUNTERS = (
 )
 
 
+# Knee-curve record schema (bench_scalability --json): field -> required
+# type(s). Vectors are checked for length against num_cns / num_mns below.
+KNEE_FIELDS = {
+    "system": str,
+    "dataset": str,
+    "workload": str,
+    "num_cns": int,
+    "num_mns": int,
+    "vnodes_per_mn": int,
+    "pipeline_depth": int,
+    "workers": int,
+    "total_ops": int,
+    "ops_per_sec": (int, float),
+    "mean_latency_ns": (int, float),
+    "mean_unloaded_latency_ns": (int, float),
+    "p50_effective_ns": (int, float),
+    "p99_effective_ns": (int, float),
+    "p50_unloaded_ns": (int, float),
+    "p99_unloaded_ns": (int, float),
+    "latency_stretch": (int, float),
+    "nic_utilization": (int, float),
+    "cn_utilization": list,
+    "mn_utilization": list,
+    "mn_msg_balance": (int, float),
+    "rtts_per_op": (int, float),
+    "read_bytes_per_op": (int, float),
+    "misses": int,
+    "insert_failures": int,
+    "alloc_failures": int,
+    "alloc_underflows": int,
+    "client_crashes": int,
+}
+
+
+def check_knee_schema(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("cannot load knee file: %s\n" % e)
+        return 2
+    if not isinstance(records, list) or not records:
+        sys.stderr.write("%s: expected a non-empty JSON array\n" % path)
+        return 1
+    failures = []
+    seen = set()
+    for i, r in enumerate(records):
+        where = "record %d" % i
+        if not isinstance(r, dict):
+            failures.append("%s: not an object" % where)
+            continue
+        bad = False
+        for field, types in KNEE_FIELDS.items():
+            if field not in r:
+                failures.append("%s: missing field '%s'" % (where, field))
+                bad = True
+            elif not isinstance(r[field], types):
+                failures.append("%s: field '%s' has type %s" %
+                                (where, field, type(r[field]).__name__))
+                bad = True
+        if bad:
+            continue
+        where = "%s/%s/%s mns=%d workers=%d" % (
+            r["system"], r["dataset"], r["workload"], r["num_mns"],
+            r["workers"])
+        point = (r["system"], r["dataset"], r["workload"], r["num_cns"],
+                 r["num_mns"], r["vnodes_per_mn"], r["pipeline_depth"],
+                 r["workers"])
+        if point in seen:
+            failures.append("%s: duplicate curve point" % where)
+        seen.add(point)
+        cn, mn = r["cn_utilization"], r["mn_utilization"]
+        if len(cn) != r["num_cns"]:
+            failures.append("%s: cn_utilization has %d entries, num_cns=%d"
+                            % (where, len(cn), r["num_cns"]))
+        if len(mn) != r["num_mns"]:
+            failures.append("%s: mn_utilization has %d entries, num_mns=%d"
+                            % (where, len(mn), r["num_mns"]))
+        utils = [u for u in cn + mn if isinstance(u, (int, float))]
+        if len(utils) != len(cn) + len(mn) or any(u < 0 for u in utils):
+            failures.append("%s: utilization vectors must hold non-negative "
+                            "numbers" % where)
+            continue
+        if utils and abs(r["nic_utilization"] - max(utils)) > \
+                1e-6 * max(1.0, max(utils)):
+            failures.append(
+                "%s: nic_utilization=%.6f != max(per-NIC)=%.6f"
+                % (where, r["nic_utilization"], max(utils)))
+        want_stretch = max(1.0, r["nic_utilization"])
+        if abs(r["latency_stretch"] - want_stretch) > 1e-6 * want_stretch:
+            failures.append(
+                "%s: latency_stretch=%.6f != max(1, nic_utilization)=%.6f"
+                % (where, r["latency_stretch"], want_stretch))
+        if not (1.0 - 1e-9 <= r["mn_msg_balance"] <= r["num_mns"] + 1e-9):
+            failures.append("%s: mn_msg_balance=%.4f outside [1, num_mns=%d]"
+                            % (where, r["mn_msg_balance"], r["num_mns"]))
+        if r["workers"] <= 0 or r["total_ops"] <= 0 or r["ops_per_sec"] <= 0:
+            failures.append("%s: non-positive workers/total_ops/ops_per_sec"
+                            % where)
+        if r["p99_effective_ns"] < r["p50_effective_ns"]:
+            failures.append("%s: p99_effective < p50_effective" % where)
+    if failures:
+        sys.stderr.write("knee schema check FAILED:\n")
+        for f in failures:
+            sys.stderr.write("  " + f + "\n")
+        return 1
+    print("knee schema check passed: %d records, %d curve points"
+          % (len(records), len(seen)))
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     opts = [a for a in argv[1:] if a.startswith("--")]
+    for o in opts:
+        if o.startswith("--knee-schema="):
+            if args or len(opts) != 1:
+                sys.stderr.write(__doc__)
+                return 2
+            return check_knee_schema(o.split("=", 1)[1])
     if len(args) != 2:
         sys.stderr.write(__doc__)
         return 2
